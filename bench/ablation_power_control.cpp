@@ -1,0 +1,61 @@
+// Ablation: transmit power control (paper §7, second remedy).
+//
+// "As another strategy to utilize high data rates, clients may choose to
+// dynamically change the transmit power such that data frames are
+// consistently transmitted at high data rates."  This bench runs a
+// weak-link-heavy cell at three contention levels, with and without client
+// TPC.  The outcome is contention-dependent — and that nuance supports the
+// paper's *other* point: when losses are collision-dominated, no amount of
+// SNR fixing rescues loss-triggered rate adaptation.
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/ascii_chart.hpp"
+
+int main() {
+  using namespace wlan;
+  std::printf("Transmit-power-control ablation: 50%% weak links, ARF, "
+              "15 s x 3 seeds per point\n\n");
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"Users", "TPC", "Util %", "Goodput Mbps", "1M busy s",
+                  "11M busy s"});
+
+  for (int users : {6, 8, 14}) {
+    for (double margin : {-1.0, 3.0}) {
+      util::Accumulator um, good, bt1, bt11;
+      for (int seed = 1; seed <= 3; ++seed) {
+        workload::CellConfig cell;
+        cell.seed = 8800 + seed;
+        cell.num_users = users;
+        cell.per_user_pps = 60.0;
+        cell.far_fraction = 0.5;
+        cell.auto_power_margin_db = margin;
+        cell.duration_s = 15.0;
+        cell.timing = mac::TimingProfile::kStandard;
+        cell.profile.closed_loop = true;
+        cell.profile.window = 2;
+        cell.profile.uplink_fraction = 0.8;
+        const auto result = workload::run_cell(cell);
+        const auto a = core::TraceAnalyzer{}.analyze(result.trace);
+        for (const auto& s : a.seconds) {
+          um.add(s.utilization());
+          good.add(s.goodput_mbps());
+          bt1.add(s.cbt_us_by_rate[0] / 1e6);
+          bt11.add(s.cbt_us_by_rate[3] / 1e6);
+        }
+      }
+      rows.push_back({std::to_string(users), margin < 0 ? "off" : "on",
+                      util::fmt(um.mean()), util::fmt(good.mean()),
+                      util::fmt(bt1.mean()), util::fmt(bt11.mean())});
+    }
+  }
+  std::fputs(util::text_table(rows).c_str(), stdout);
+  std::printf(
+      "\nAt moderate contention TPC lifts fringe uplinks over the 11 Mbps\n"
+      "SNR threshold and shrinks the 1 Mbps airtime flood (paper S7's\n"
+      "remedy).  At heavy contention the gain evaporates: ARF's losses are\n"
+      "collisions, not SNR, so only loss-aware adaptation (see\n"
+      "ablation_rate_adaptation) fixes that regime -- precisely the paper's\n"
+      "point that adaptation must distinguish loss causes.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Ablation: paper Table 2 timing (10 us slot, CW 31..255) vs. the IEEE
+// 802.11b standard values (20 us slot, CW 31..1023) on the simulated radios.
+//
+// The paper quotes Jun et al.'s parameters; real Airespace/IETF hardware
+// used the standard ones.  The analyzer always applies Table 2; this bench
+// shows how much the *radio-side* profile matters for the congestion
+// dynamics.
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/ascii_chart.hpp"
+
+int main() {
+  using namespace wlan;
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"Radio timing", "Users", "Util %", "Goodput Mbps",
+                  "Collision %", "Retry frames %"});
+
+  for (auto profile : {mac::TimingProfile::kPaper, mac::TimingProfile::kStandard}) {
+    for (int users : {8, 16}) {
+      util::Accumulator um, good;
+      double coll_pct = 0.0;
+      std::uint64_t retries = 0, data = 0;
+      for (int seed = 1; seed <= 2; ++seed) {
+        workload::CellConfig cell;
+        cell.seed = 9500 + seed;
+        cell.num_users = users;
+        cell.per_user_pps = 60.0;
+        cell.far_fraction = 0.2;
+        cell.duration_s = 20.0;
+        cell.timing = profile;
+        cell.profile.closed_loop = true;
+        cell.profile.window = 3;
+        cell.profile.uplink_fraction = 0.5;
+        const auto result = workload::run_cell(cell);
+        const core::TraceAnalyzer analyzer;
+        const auto a = analyzer.analyze(result.trace);
+        for (const auto& s : a.seconds) {
+          um.add(s.utilization());
+          good.add(s.goodput_mbps());
+          data += s.data;
+          for (std::uint32_t r : s.retries_by_rate) retries += r;
+        }
+        coll_pct += result.medium_transmissions
+                        ? 100.0 * result.medium_collisions /
+                              result.medium_transmissions
+                        : 0.0;
+      }
+      rows.push_back(
+          {profile == mac::TimingProfile::kPaper ? "paper (slot 10, CW<=255)"
+                                                 : "standard (slot 20, CW<=1023)",
+           std::to_string(users), util::fmt(um.mean()), util::fmt(good.mean()),
+           util::fmt(coll_pct / 2),
+           util::fmt(data ? 100.0 * retries / data : 0.0)});
+    }
+  }
+  std::fputs(util::text_table(rows).c_str(), stdout);
+  std::printf("\nThe paper profile's 10 us slots waste half the idle time per\n"
+              "backoff slot (higher utilization and goodput at equal load);\n"
+              "the standard profile's deeper backoff absorbs contention\n"
+              "bursts with fewer retries at larger populations.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Shared bench harness: the standard utilization sweep every figure bench
+// feeds from, and small printing helpers.
+//
+// The sweep is a composite of two operating regimes of the single-channel
+// cell fixture (see DESIGN.md):
+//   A. population regime — a room of lightly loaded closed-loop users;
+//      fills the 20-55% utilization bins (the paper's "moderate" band),
+//   B. saturation regime — a handful of saturated users with a rising share
+//      of weak-SNR (outer-ring) links; fills the 55-95% bins including the
+//      throughput knee and the post-knee decline driven by rate adaptation.
+// Every per-second sample from every run is binned by that second's
+// measured utilization, exactly as the paper aggregates (§6).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.hpp"
+#include "core/report.hpp"
+#include "util/csv.hpp"
+#include "workload/scenario.hpp"
+
+namespace wlan::bench {
+
+struct SweepOptions {
+  std::uint64_t base_seed = 1;
+  double rtscts_fraction = 0.05;
+  rate::ControllerConfig rate;  ///< ARF by default, like commodity radios
+  double duration_s = 18.0;
+  int seeds_per_point = 3;
+};
+
+/// The frozen standard sweep grid.
+[[nodiscard]] std::vector<workload::CellConfig> standard_sweep(
+    const SweepOptions& opt = {});
+
+/// Runs every cell and accumulates per-second stats into the figure builder.
+/// Prints one progress line per run when `verbose`.
+[[nodiscard]] core::FigureAccumulator run_sweep(
+    const std::vector<workload::CellConfig>& cells, bool verbose = false);
+
+/// Renders the figure to stdout and writes its series to `<name>.csv`.
+void emit_figure(const core::FigureSeries& fig, const std::string& csv_name);
+
+}  // namespace wlan::bench

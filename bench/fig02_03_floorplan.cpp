@@ -1,0 +1,28 @@
+// Figures 2-3: the venue floor plans with AP and sniffer placement for the
+// day and plenary configurations.
+#include <algorithm>
+#include <cstdio>
+
+#include "workload/floorplan.hpp"
+
+int main() {
+  using namespace wlan;
+
+  for (auto kind : {workload::SessionKind::kDay, workload::SessionKind::kPlenary}) {
+    const auto plan = workload::ietf_floorplan(kind);
+    std::fputs(workload::render_ascii(plan).c_str(), stdout);
+    std::printf("\n%zu APs total (%zu on this floor), sniffers at:\n",
+                plan.aps.size(),
+                static_cast<std::size_t>(std::count_if(
+                    plan.aps.begin(), plan.aps.end(),
+                    [](const auto& ap) { return ap.position.floor == 0; })));
+    for (const auto& s : plan.sniffers) {
+      std::printf("  (%.1f m, %.1f m)\n", s.x, s.y);
+    }
+    std::printf("\n");
+  }
+  std::printf("Day: three sniffers spread through the monitored ballroom, one\n"
+              "per channel (1/6/11).  Plenary: walls removed, sniffers\n"
+              "co-located (paper Figures 2 and 3).\n");
+  return 0;
+}

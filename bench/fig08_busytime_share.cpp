@@ -1,0 +1,16 @@
+// Figure 8: channel busy-time share of each data rate versus utilization.
+//
+// Paper shape: 1 Mbps frames occupy the largest fraction of every second
+// and grow from ~0.43 s to ~0.54 s under high congestion, even though
+// 11 Mbps carries far more bytes (Figure 9).
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace wlan;
+  std::printf("Figure 8 bench: standard utilization sweep\n\n");
+  const auto acc = bench::run_sweep(bench::standard_sweep());
+  bench::emit_figure(acc.fig08_busytime_share(), "fig08.csv");
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Figure 9: bytes transmitted per second at each data rate versus
+// utilization.
+//
+// Paper shape: 11 Mbps carries by far the most bytes (~300% more than
+// 1 Mbps) while occupying about half the airtime 1 Mbps does — the DCF
+// airtime anomaly (Heusse et al.).
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace wlan;
+  std::printf("Figure 9 bench: standard utilization sweep\n\n");
+  const auto acc = bench::run_sweep(bench::standard_sweep());
+  bench::emit_figure(acc.fig09_bytes_per_rate(), "fig09.csv");
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Figures 10-13: data-frame transmissions per second by size class and
+// rate versus utilization.
+//
+// Paper shapes: S-11 and XL-11 dominate their size classes at every
+// utilization (Figs 10-11); at 1 Mbps the S class leads (Fig 12); 2 and
+// 5.5 Mbps are scarce everywhere ("current rate adaptation implementations
+// make scarce use of the 2 and 5.5 Mbps rates").
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace wlan;
+  std::printf("Figures 10-13 bench: standard utilization sweep\n\n");
+  const auto acc = bench::run_sweep(bench::standard_sweep());
+  bench::emit_figure(acc.fig10_11_frames_of_class(core::SizeClass::kS),
+                     "fig10.csv");
+  bench::emit_figure(acc.fig10_11_frames_of_class(core::SizeClass::kXL),
+                     "fig11.csv");
+  bench::emit_figure(acc.fig12_13_frames_at_rate(phy::Rate::kR1), "fig12.csv");
+  bench::emit_figure(acc.fig12_13_frames_at_rate(phy::Rate::kR11), "fig13.csv");
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Figure 15: acceptance delay (first transmission -> recorded ACK) for
+// S-1, XL-1, S-11 and XL-11 frames versus utilization.
+//
+// Paper shape: delays rise with utilization; both 1 Mbps categories sit
+// well above both 11 Mbps categories — an S-1 frame takes longer to accept
+// than an XL-11 frame, i.e. rate beats size.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace wlan;
+  std::printf("Figure 15 bench: standard utilization sweep\n\n");
+  const auto acc = bench::run_sweep(bench::standard_sweep());
+  bench::emit_figure(acc.fig15_acceptance_delay(), "fig15.csv");
+  return 0;
+}

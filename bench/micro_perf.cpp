@@ -1,0 +1,99 @@
+// Engine microbenchmarks (google-benchmark): the hot paths whose cost
+// bounds how much network time the figure benches can afford to simulate.
+#include <benchmark/benchmark.h>
+
+#include "core/analyzer.hpp"
+#include "core/delay_components.hpp"
+#include "phy/error_model.hpp"
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+#include "workload/scenario.hpp"
+
+namespace {
+
+using namespace wlan;
+
+void BM_RngNext(benchmark::State& state) {
+  util::Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_RngExponential(benchmark::State& state) {
+  util::Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.exponential(0.125));
+}
+BENCHMARK(BM_RngExponential);
+
+void BM_FrameSuccessProbability(benchmark::State& state) {
+  double snr = 3.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        phy::frame_success_probability(phy::Rate::kR11, 1506, snr));
+    snr = snr > 30.0 ? 3.0 : snr + 0.1;
+  }
+}
+BENCHMARK(BM_FrameSuccessProbability);
+
+void BM_CbtComputation(benchmark::State& state) {
+  const auto delays = core::DelayComponents::paper();
+  trace::CaptureRecord r;
+  r.type = mac::FrameType::kData;
+  r.size_bytes = 1506;
+  r.rate = phy::Rate::kR11;
+  for (auto _ : state) benchmark::DoNotOptimize(delays.cbt(r));
+}
+BENCHMARK(BM_CbtComputation);
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  sim::EventQueue q;
+  util::Rng rng(3);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    q.schedule(Microseconds{t + static_cast<std::int64_t>(rng.uniform(1000))},
+               [] {});
+    if (q.size() > 64) {
+      t = q.run_next().count();
+    }
+  }
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+/// End-to-end: one simulated network second at moderate congestion.
+void BM_SimulatedSecond(benchmark::State& state) {
+  for (auto _ : state) {
+    workload::CellConfig cell;
+    cell.seed = 11;
+    cell.num_users = 10;
+    cell.per_user_pps = 60.0;
+    cell.duration_s = 1.5;
+    cell.warmup_s = 0.5;
+    cell.timing = mac::TimingProfile::kStandard;
+    cell.profile.closed_loop = true;
+    cell.profile.window = 3;
+    benchmark::DoNotOptimize(workload::run_cell(cell));
+  }
+}
+BENCHMARK(BM_SimulatedSecond)->Unit(benchmark::kMillisecond);
+
+/// Analyzer throughput over a pre-built congested trace.
+void BM_AnalyzeTrace(benchmark::State& state) {
+  workload::CellConfig cell;
+  cell.seed = 12;
+  cell.num_users = 12;
+  cell.per_user_pps = 60.0;
+  cell.duration_s = 10.0;
+  cell.timing = mac::TimingProfile::kStandard;
+  cell.profile.closed_loop = true;
+  cell.profile.window = 3;
+  const auto result = workload::run_cell(cell);
+  const core::TraceAnalyzer analyzer;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.analyze(result.trace));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(result.trace.records.size()));
+}
+BENCHMARK(BM_AnalyzeTrace)->Unit(benchmark::kMillisecond);
+
+}  // namespace

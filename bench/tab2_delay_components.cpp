@@ -1,0 +1,48 @@
+// Table 2: the delay components (microseconds) the busy-time computation
+// uses, plus Figure 1's exchange timings derived from them.
+#include <cstdio>
+
+#include "core/delay_components.hpp"
+#include "util/ascii_chart.hpp"
+
+int main() {
+  using namespace wlan;
+  const auto d = core::DelayComponents::paper();
+
+  std::printf("Table 2: delay components (microseconds)\n\n");
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"Delay component", "Delay (usec)"});
+  rows.push_back({"D_DIFS", std::to_string(d.difs.count())});
+  rows.push_back({"D_SIFS", std::to_string(d.sifs.count())});
+  rows.push_back({"D_RTS", std::to_string(d.rts.count())});
+  rows.push_back({"D_CTS", std::to_string(d.cts.count())});
+  rows.push_back({"D_ACK", std::to_string(d.ack.count())});
+  rows.push_back({"D_BEACON", std::to_string(d.beacon.count())});
+  rows.push_back({"D_BO", std::to_string(d.bo.count())});
+  rows.push_back({"D_PLCP", std::to_string(d.plcp.count())});
+  std::fputs(util::text_table(rows).c_str(), stdout);
+
+  std::printf("\nD_DATA(size)(rate) = D_PLCP + 8*(34+size)/rate:\n\n");
+  std::vector<std::vector<std::string>> data_rows;
+  data_rows.push_back({"payload (B)", "1 Mbps", "2 Mbps", "5.5 Mbps", "11 Mbps"});
+  for (std::uint32_t size : {64u, 256u, 512u, 1024u, 1472u}) {
+    std::vector<std::string> row{std::to_string(size)};
+    for (phy::Rate r : phy::kAllRates) {
+      row.push_back(std::to_string(d.data_duration_payload(size, r).count()));
+    }
+    data_rows.push_back(row);
+  }
+  std::fputs(util::text_table(data_rows).c_str(), stdout);
+
+  std::printf("\nFigure 1 exchange durations for a 1024-byte payload at 11 Mbps:\n");
+  const auto data = d.data_duration_payload(1024, phy::Rate::kR11);
+  std::printf("  CSMA/CA : DIFS + DATA + SIFS + ACK            = %lld us\n",
+              static_cast<long long>(
+                  (d.difs + data + d.sifs + d.ack).count()));
+  std::printf("  RTS/CTS : DIFS + RTS + SIFS + CTS + SIFS + DATA + SIFS + ACK"
+              " = %lld us\n",
+              static_cast<long long>((d.difs + d.rts + d.sifs + d.cts + d.sifs +
+                                      data + d.sifs + d.ack)
+                                         .count()));
+  return 0;
+}

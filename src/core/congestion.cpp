@@ -1,0 +1,70 @@
+#include "core/congestion.hpp"
+
+#include <cmath>
+
+#include "core/utilization.hpp"
+
+namespace wlan::core {
+
+std::string_view congestion_level_name(CongestionLevel level) {
+  switch (level) {
+    case CongestionLevel::kUncongested: return "uncongested";
+    case CongestionLevel::kModerate: return "moderately congested";
+    case CongestionLevel::kHigh: return "highly congested";
+  }
+  return "?";
+}
+
+CongestionLevel classify(double utilization_pct, const CongestionThresholds& t) {
+  if (utilization_pct < t.low_pct) return CongestionLevel::kUncongested;
+  if (utilization_pct <= t.high_pct) return CongestionLevel::kModerate;
+  return CongestionLevel::kHigh;
+}
+
+double detect_saturation_knee(const AnalysisResult& a, int smoothing_window) {
+  UtilizationBinner throughput;
+  for (const SecondStats& s : a.seconds) {
+    throughput.add(s.utilization(), s.throughput_mbps());
+  }
+
+  // Smooth the binned curve and find its peak over [30, 100].
+  const int half = smoothing_window / 2;
+  double best_util = CongestionThresholds{}.high_pct;
+  double best_value = -1.0;
+  int populated = 0;
+  for (int p = 30; p <= 100; ++p) {
+    double sum = 0.0;
+    int n = 0;
+    for (int q = p - half; q <= p + half; ++q) {
+      const double m = throughput.mean(q);
+      if (std::isfinite(m)) {
+        sum += m;
+        ++n;
+      }
+    }
+    if (n == 0) continue;
+    ++populated;
+    const double smoothed = sum / n;
+    if (smoothed > best_value) {
+      best_value = smoothed;
+      best_util = p;
+    }
+  }
+  if (populated < 10) return CongestionThresholds{}.high_pct;
+  return best_util;
+}
+
+CongestionBreakdown breakdown(const AnalysisResult& a,
+                              const CongestionThresholds& t) {
+  CongestionBreakdown b;
+  for (const SecondStats& s : a.seconds) {
+    switch (classify(s.utilization(), t)) {
+      case CongestionLevel::kUncongested: ++b.uncongested; break;
+      case CongestionLevel::kModerate: ++b.moderate; break;
+      case CongestionLevel::kHigh: ++b.high; break;
+    }
+  }
+  return b;
+}
+
+}  // namespace wlan::core

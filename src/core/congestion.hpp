@@ -1,0 +1,47 @@
+// Congestion classification (§5.3): uncongested (<30%), moderately
+// congested (30-84%), highly congested (>84%), plus the data-driven knee
+// detector that recovers the 84% threshold from the throughput curve.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/analyzer.hpp"
+
+namespace wlan::core {
+
+enum class CongestionLevel : std::uint8_t {
+  kUncongested = 0,
+  kModerate = 1,
+  kHigh = 2,
+};
+
+[[nodiscard]] std::string_view congestion_level_name(CongestionLevel level);
+
+struct CongestionThresholds {
+  double low_pct = 30.0;   ///< below: uncongested
+  double high_pct = 84.0;  ///< above: highly congested (the IETF knee)
+};
+
+[[nodiscard]] CongestionLevel classify(double utilization_pct,
+                                       const CongestionThresholds& t = {});
+
+/// Finds the utilization percentage at which binned throughput peaks — the
+/// paper's §5.2 method for picking the "highly congested" boundary.  The
+/// curve is smoothed with a centered moving average first.  Returns the
+/// default threshold when there is not enough data.
+[[nodiscard]] double detect_saturation_knee(const AnalysisResult& a,
+                                            int smoothing_window = 5);
+
+/// Seconds spent in each congestion level (useful summary for reports).
+struct CongestionBreakdown {
+  std::uint64_t uncongested = 0;
+  std::uint64_t moderate = 0;
+  std::uint64_t high = 0;
+};
+
+[[nodiscard]] CongestionBreakdown breakdown(const AnalysisResult& a,
+                                            const CongestionThresholds& t = {});
+
+}  // namespace wlan::core

@@ -1,0 +1,42 @@
+#include "core/delay_components.hpp"
+
+namespace wlan::core {
+
+namespace {
+std::int64_t body_us(std::uint64_t bytes, phy::Rate rate) {
+  const std::uint64_t kbps = phy::rate_kbps(rate);
+  return static_cast<std::int64_t>((bytes * 8 * 1000 + kbps - 1) / kbps);
+}
+}  // namespace
+
+Microseconds DelayComponents::data_duration_payload(std::uint32_t payload_bytes,
+                                                    phy::Rate rate) const {
+  return plcp + Microseconds{body_us(payload_bytes + 34ULL, rate)};
+}
+
+Microseconds DelayComponents::data_duration_total(std::uint32_t total_bytes,
+                                                  phy::Rate rate) const {
+  return plcp + Microseconds{body_us(total_bytes, rate)};
+}
+
+Microseconds DelayComponents::cbt(const trace::CaptureRecord& r) const {
+  switch (r.type) {
+    case mac::FrameType::kRts:
+      return rts;  // Eq. 3: the DIFS is charged to the data frame
+    case mac::FrameType::kCts:
+      return sifs + cts;  // Eq. 4
+    case mac::FrameType::kAck:
+      return sifs + ack;  // Eq. 5
+    case mac::FrameType::kBeacon:
+      return difs + beacon;  // Eq. 6
+    case mac::FrameType::kData:
+    case mac::FrameType::kAssocReq:
+    case mac::FrameType::kAssocResp:
+    case mac::FrameType::kDisassoc:
+      // Eq. 2; management payloads ride the same DIFS + D_DATA sequence.
+      return difs + bo + data_duration_total(r.size_bytes, r.rate);
+  }
+  return Microseconds{0};
+}
+
+}  // namespace wlan::core

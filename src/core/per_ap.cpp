@@ -1,0 +1,128 @@
+#include "core/per_ap.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace wlan::core {
+
+namespace {
+
+bool is_data_like(mac::FrameType t) {
+  return t == mac::FrameType::kData || t == mac::FrameType::kAssocReq ||
+         t == mac::FrameType::kAssocResp || t == mac::FrameType::kDisassoc;
+}
+
+}  // namespace
+
+std::vector<ApActivity> ap_activity(const trace::Trace& trace) {
+  std::unordered_map<mac::Addr, ApActivity> acc;
+  std::unordered_set<mac::Addr> bssids;
+  std::unordered_map<mac::Addr, mac::Addr> client_bssid;
+
+  for (const auto& r : trace.records) {
+    if ((is_data_like(r.type) || r.type == mac::FrameType::kBeacon) &&
+        r.bssid != mac::kNoAddr) {
+      bssids.insert(r.bssid);
+    }
+  }
+
+  for (const auto& r : trace.records) {
+    if (is_data_like(r.type) || r.type == mac::FrameType::kBeacon) {
+      if (r.bssid == mac::kNoAddr) continue;
+      ApActivity& ap = acc[r.bssid];
+      ap.bssid = r.bssid;
+      ++ap.frames;
+      if (r.type == mac::FrameType::kBeacon) {
+        ++ap.beacons;
+      } else {
+        ++ap.data_frames;
+      }
+      if (!bssids.count(r.src)) client_bssid[r.src] = r.bssid;
+      if (r.dst != mac::kBroadcast && !bssids.count(r.dst)) {
+        client_bssid[r.dst] = r.bssid;
+      }
+    } else {
+      // Control frames carry no BSSID: attribute through the addressed
+      // station's known AP.
+      mac::Addr bssid = mac::kNoAddr;
+      if (bssids.count(r.dst)) {
+        bssid = r.dst;
+      } else {
+        const auto it = client_bssid.find(r.dst);
+        if (it != client_bssid.end()) bssid = it->second;
+      }
+      if (bssid == mac::kNoAddr) continue;
+      ApActivity& ap = acc[bssid];
+      ap.bssid = bssid;
+      ++ap.frames;
+      ++ap.control_frames;
+    }
+  }
+
+  std::vector<ApActivity> out;
+  out.reserve(acc.size());
+  for (auto& [addr, ap] : acc) out.push_back(ap);
+  std::sort(out.begin(), out.end(), [](const ApActivity& a, const ApActivity& b) {
+    return a.frames > b.frames;
+  });
+  return out;
+}
+
+std::vector<UserCountPoint> user_count_series(const trace::Trace& trace,
+                                              const UserCountConfig& cfg) {
+  std::vector<UserCountPoint> out;
+  if (trace.records.empty()) return out;
+
+  std::unordered_set<mac::Addr> bssids;
+  for (const auto& r : trace.records) {
+    if ((is_data_like(r.type) || r.type == mac::FrameType::kBeacon) &&
+        r.bssid != mac::kNoAddr) {
+      bssids.insert(r.bssid);
+    }
+  }
+
+  // station -> last activity time; departure on Disassoc or idle timeout.
+  std::unordered_map<mac::Addr, std::int64_t> last_seen;
+
+  const std::int64_t start = trace.start_us;
+  std::int64_t window_end = start + cfg.window.count();
+
+  auto sample = [&](std::int64_t at) {
+    std::size_t users = 0;
+    for (auto it = last_seen.begin(); it != last_seen.end();) {
+      if (at - it->second > cfg.idle_timeout.count()) {
+        it = last_seen.erase(it);
+      } else {
+        ++users;
+        ++it;
+      }
+    }
+    out.push_back(UserCountPoint{static_cast<double>(at - start) / 1e6,
+                                 static_cast<double>(users)});
+  };
+
+  for (const auto& r : trace.records) {
+    while (r.time_us >= window_end) {
+      sample(window_end);
+      window_end += cfg.window.count();
+    }
+    if (r.type == mac::FrameType::kDisassoc) {
+      last_seen.erase(r.src);
+      continue;
+    }
+    // Any client-originated frame proves presence.
+    if (r.src != mac::kNoAddr && !bssids.count(r.src) &&
+        (is_data_like(r.type) || r.type == mac::FrameType::kRts)) {
+      last_seen[r.src] = r.time_us;
+    }
+  }
+  // Keep sampling through the capture's end, so quiet tails still appear.
+  while (window_end <= trace.end_us + cfg.window.count()) {
+    sample(window_end);
+    window_end += cfg.window.count();
+  }
+  return out;
+}
+
+}  // namespace wlan::core

@@ -1,0 +1,44 @@
+// Per-AP activity ranking (Fig. 4a) and the associated-user time series
+// (Fig. 4b), computed from a capture alone.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mac/frame.hpp"
+#include "trace/record.hpp"
+#include "util/time.hpp"
+
+namespace wlan::core {
+
+struct ApActivity {
+  mac::Addr bssid = mac::kNoAddr;
+  std::uint64_t frames = 0;         ///< data + control + beacons attributed
+  std::uint64_t data_frames = 0;
+  std::uint64_t control_frames = 0;
+  std::uint64_t beacons = 0;
+};
+
+/// Frames sent/received per virtual AP, sorted descending by total —
+/// take the first 15 for the paper's "15 most active APs".
+[[nodiscard]] std::vector<ApActivity> ap_activity(const trace::Trace& trace);
+
+struct UserCountConfig {
+  /// Sampling window (paper: 30-second means).
+  Microseconds window{30'000'000};
+  /// A station with no frames for this long is presumed gone even without
+  /// a captured Disassoc (sniffers miss some).
+  Microseconds idle_timeout{90'000'000};
+};
+
+struct UserCountPoint {
+  double time_s = 0.0;
+  double users = 0.0;
+};
+
+/// Associated-user counts over time from AssocReq/Resp and Disassoc frames,
+/// with activity-based expiry for missed departures.
+[[nodiscard]] std::vector<UserCountPoint> user_count_series(
+    const trace::Trace& trace, const UserCountConfig& cfg = {});
+
+}  // namespace wlan::core

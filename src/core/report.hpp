@@ -1,0 +1,87 @@
+// Figure builders: turn AnalysisResults into the exact series the paper
+// plots in Figures 6-15, rendered as ASCII charts + data tables by the
+// bench binaries.
+//
+// FigureAccumulator can absorb multiple analyses (e.g. one per load point of
+// a sweep); every figure is a utilization-binned mean, exactly as the paper
+// averages "over all one second intervals that are y% utilized".
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.hpp"
+#include "core/frame_classes.hpp"
+#include "core/utilization.hpp"
+#include "util/ascii_chart.hpp"
+
+namespace wlan::core {
+
+struct FigureSeries {
+  std::string title;
+  std::string x_label;
+  std::vector<double> x;
+  std::vector<util::Series> series;
+};
+
+/// Renders chart + the underlying numbers as a table.
+[[nodiscard]] std::string render_figure(const FigureSeries& fig);
+
+/// §6.1: channel-access efficiency of RTS/CTS users vs everyone else —
+/// distinct data frames delivered per channel transmission the sender made
+/// (RTS frames count as transmissions for their senders).
+struct RtsFairness {
+  std::size_t rts_senders = 0;
+  std::size_t other_senders = 0;
+  double rts_delivery_ratio = 0.0;
+  double other_delivery_ratio = 0.0;
+};
+
+class FigureAccumulator {
+ public:
+  FigureAccumulator() = default;
+
+  /// Absorbs one analyzed trace.
+  void add(const AnalysisResult& analysis);
+
+  /// Number of one-second intervals absorbed so far.
+  [[nodiscard]] std::size_t seconds_absorbed() const { return seconds_; }
+
+  // --- figures ----------------------------------------------------------
+  [[nodiscard]] FigureSeries fig06_throughput_goodput(std::size_t min_n = 3) const;
+  [[nodiscard]] FigureSeries fig07_rts_cts(std::size_t min_n = 3) const;
+  [[nodiscard]] FigureSeries fig08_busytime_share(std::size_t min_n = 3) const;
+  [[nodiscard]] FigureSeries fig09_bytes_per_rate(std::size_t min_n = 3) const;
+  /// Figs. 10/11: one size class across the four rates.
+  [[nodiscard]] FigureSeries fig10_11_frames_of_class(SizeClass cls,
+                                                      std::size_t min_n = 3) const;
+  /// Figs. 12/13: one rate across the four size classes.
+  [[nodiscard]] FigureSeries fig12_13_frames_at_rate(phy::Rate rate,
+                                                     std::size_t min_n = 3) const;
+  [[nodiscard]] FigureSeries fig14_first_attempt_acked(std::size_t min_n = 3) const;
+  /// Fig. 15 categories: S-1, XL-1, S-11, XL-11 (paper's selection).
+  [[nodiscard]] FigureSeries fig15_acceptance_delay(std::size_t min_n = 3) const;
+
+  [[nodiscard]] RtsFairness rts_fairness() const;
+
+  /// Mean utilization-binned throughput peak (for knee reporting).
+  [[nodiscard]] double knee_utilization() const;
+
+ private:
+  std::size_t seconds_ = 0;
+
+  UtilizationBinner throughput_;
+  UtilizationBinner goodput_;
+  UtilizationBinner rts_;
+  UtilizationBinner cts_;
+  std::array<UtilizationBinner, phy::kNumRates> cbt_by_rate_;
+  std::array<UtilizationBinner, phy::kNumRates> bytes_by_rate_;
+  std::array<UtilizationBinner, phy::kNumRates> first_acked_;
+  std::array<UtilizationBinner, kNumCategories> tx_by_category_;
+  std::array<UtilizationBinner, kNumCategories> acceptance_;
+
+  std::unordered_map<mac::Addr, SenderStats> senders_;
+};
+
+}  // namespace wlan::core

@@ -1,0 +1,146 @@
+#include "core/unrecorded.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace wlan::core {
+
+namespace {
+
+bool is_data_like(mac::FrameType t) {
+  return t == mac::FrameType::kData || t == mac::FrameType::kAssocReq ||
+         t == mac::FrameType::kAssocResp || t == mac::FrameType::kDisassoc;
+}
+
+}  // namespace
+
+UnrecordedReport estimate_unrecorded(const trace::Trace& trace,
+                                     const UnrecordedConfig& cfg) {
+  UnrecordedReport report;
+  const auto& recs = trace.records;
+  report.totals.captured = recs.size();
+
+  // BSSIDs: every address that appears as the BSSID of a data/mgmt/beacon
+  // frame.  Used to attribute inferred misses to an AP.
+  std::unordered_set<mac::Addr> bssids;
+  for (const auto& r : recs) {
+    if (r.bssid != mac::kNoAddr &&
+        (is_data_like(r.type) || r.type == mac::FrameType::kBeacon)) {
+      bssids.insert(r.bssid);
+    }
+  }
+
+  std::unordered_map<mac::Addr, ApUnrecorded> per_ap;
+  for (mac::Addr b : bssids) per_ap[b].bssid = b;
+
+  // A client's most recent BSSID, for attributing misses of client frames.
+  std::unordered_map<mac::Addr, mac::Addr> client_bssid;
+
+  auto attribute = [&](mac::Addr station) {
+    // `station` transmitted the missed frame; find the AP it talks through.
+    if (bssids.count(station)) {
+      ++per_ap[station].missed;
+      return;
+    }
+    const auto it = client_bssid.find(station);
+    if (it != client_bssid.end()) ++per_ap[it->second].missed;
+  };
+
+  // Pending RTS exchanges for the missed-CTS rule: src -> (time, dst).
+  struct PendingRts {
+    std::int64_t time_us;
+    mac::Addr dst;
+    bool cts_seen;
+  };
+  std::unordered_map<mac::Addr, PendingRts> pending_rts;
+
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    const trace::CaptureRecord& r = recs[i];
+
+    // --- capture attribution -------------------------------------------
+    if (is_data_like(r.type) || r.type == mac::FrameType::kBeacon) {
+      if (r.bssid != mac::kNoAddr) {
+        ++per_ap[r.bssid].captured;
+        if (!bssids.count(r.src)) client_bssid[r.src] = r.bssid;
+        if (!bssids.count(r.dst) && r.dst != mac::kBroadcast) {
+          client_bssid[r.dst] = r.bssid;
+        }
+      }
+    } else {
+      // Control frame: attribute to the AP side of the exchange.
+      if (bssids.count(r.dst)) {
+        ++per_ap[r.dst].captured;
+      } else {
+        const auto it = client_bssid.find(r.dst);
+        if (it != client_bssid.end()) ++per_ap[it->second].captured;
+      }
+    }
+
+    switch (r.type) {
+      case mac::FrameType::kAck: {
+        // DATA->ACK atomicity: the previous record must be the DATA this
+        // ACK acknowledges (sent by the ACK's destination).
+        bool matched = false;
+        if (i > 0) {
+          const trace::CaptureRecord& prev = recs[i - 1];
+          matched = is_data_like(prev.type) && prev.src == r.dst &&
+                    r.time_us - prev.time_us <=
+                        cfg.ack_gap.count() + 8LL * prev.size_bytes;
+        }
+        if (!matched) {
+          ++report.totals.missed_data;
+          attribute(r.dst);  // the DATA's sender
+        }
+        break;
+      }
+      case mac::FrameType::kCts: {
+        // RTS->CTS atomicity: previous record must be the matching RTS.
+        bool matched = false;
+        if (i > 0) {
+          const trace::CaptureRecord& prev = recs[i - 1];
+          matched = prev.type == mac::FrameType::kRts && prev.src == r.dst &&
+                    r.time_us - prev.time_us <= cfg.cts_gap.count();
+        }
+        if (!matched) {
+          ++report.totals.missed_rts;
+          attribute(r.dst);  // the RTS's sender
+        }
+        // Mark any pending RTS from this exchange as answered.
+        const auto it = pending_rts.find(r.dst);
+        if (it != pending_rts.end()) it->second.cts_seen = true;
+        break;
+      }
+      case mac::FrameType::kRts:
+        pending_rts[r.src] = PendingRts{r.time_us, r.dst, false};
+        break;
+      default:
+        if (is_data_like(r.type)) {
+          // RTS->CTS->DATA atomicity: DATA following our recorded RTS
+          // without a CTS in between means the CTS went unrecorded.
+          const auto it = pending_rts.find(r.src);
+          if (it != pending_rts.end()) {
+            if (it->second.dst == r.dst &&
+                r.time_us - it->second.time_us <= cfg.rts_data_window.count()) {
+              if (!it->second.cts_seen) {
+                ++report.totals.missed_cts;
+                attribute(r.dst);  // the CTS sender is the DATA's receiver
+              }
+            }
+            pending_rts.erase(it);
+          }
+        }
+        break;
+    }
+  }
+
+  report.per_ap.reserve(per_ap.size());
+  for (auto& [addr, ap] : per_ap) report.per_ap.push_back(ap);
+  std::sort(report.per_ap.begin(), report.per_ap.end(),
+            [](const ApUnrecorded& a, const ApUnrecorded& b) {
+              return a.captured > b.captured;
+            });
+  return report;
+}
+
+}  // namespace wlan::core

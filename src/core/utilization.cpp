@@ -1,0 +1,58 @@
+#include "core/utilization.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace wlan::core {
+
+std::vector<double> utilization_series(const AnalysisResult& a) {
+  std::vector<double> out;
+  out.reserve(a.seconds.size());
+  for (const SecondStats& s : a.seconds) out.push_back(s.utilization());
+  return out;
+}
+
+util::Histogram utilization_histogram(const AnalysisResult& a) {
+  util::Histogram h(0.0, 101.0, 101);
+  for (const SecondStats& s : a.seconds) h.add(s.utilization());
+  return h;
+}
+
+void UtilizationBinner::add(double utilization_pct, double value) {
+  if (!std::isfinite(value)) return;
+  const int pct = std::clamp(static_cast<int>(std::lround(utilization_pct)), 0, 100);
+  sums_[static_cast<std::size_t>(pct)] += value;
+  ++counts_[static_cast<std::size_t>(pct)];
+}
+
+double UtilizationBinner::mean(int pct, std::size_t min_count) const {
+  if (pct < 0 || pct > 100) return std::numeric_limits<double>::quiet_NaN();
+  const auto i = static_cast<std::size_t>(pct);
+  if (counts_[i] < min_count || counts_[i] == 0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return sums_[i] / static_cast<double>(counts_[i]);
+}
+
+std::size_t UtilizationBinner::count(int pct) const {
+  if (pct < 0 || pct > 100) return 0;
+  return counts_[static_cast<std::size_t>(pct)];
+}
+
+std::vector<double> UtilizationBinner::series(int lo, int hi,
+                                              std::size_t min_count) const {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(hi - lo + 1));
+  for (int p = lo; p <= hi; ++p) out.push_back(mean(p, min_count));
+  return out;
+}
+
+std::vector<double> UtilizationBinner::axis(int lo, int hi) {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(hi - lo + 1));
+  for (int p = lo; p <= hi; ++p) out.push_back(p);
+  return out;
+}
+
+}  // namespace wlan::core

@@ -1,0 +1,47 @@
+// Utilization series, histogram (Fig. 5) and the utilization-binned
+// aggregation every later figure uses (§6: "each point on the graph is an
+// average over all one second intervals that are y% utilized").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/analyzer.hpp"
+#include "util/stats.hpp"
+
+namespace wlan::core {
+
+/// Per-second utilization percentages in trace order (Fig. 5a/b).
+[[nodiscard]] std::vector<double> utilization_series(const AnalysisResult& a);
+
+/// Frequency of integer utilization percentages (Fig. 5c): 101 one-percent
+/// bins over [0, 101).
+[[nodiscard]] util::Histogram utilization_histogram(const AnalysisResult& a);
+
+/// Accumulates per-second metric values into integer-percent utilization
+/// bins and yields the per-bin mean — the x-axis transform of Figs. 6-15.
+class UtilizationBinner {
+ public:
+  UtilizationBinner() : sums_(101, 0.0), counts_(101, 0) {}
+
+  void add(double utilization_pct, double value);
+
+  /// Mean value in bin `pct`; NaN when the bin holds fewer than `min_count`
+  /// seconds (matches the paper's practice of ignoring sparse utilizations).
+  [[nodiscard]] double mean(int pct, std::size_t min_count = 1) const;
+
+  [[nodiscard]] std::size_t count(int pct) const;
+
+  /// Series over [lo, hi] inclusive (NaN for sparse bins).
+  [[nodiscard]] std::vector<double> series(int lo = 30, int hi = 100,
+                                           std::size_t min_count = 1) const;
+
+  /// The x values matching series().
+  [[nodiscard]] static std::vector<double> axis(int lo = 30, int hi = 100);
+
+ private:
+  std::vector<double> sums_;
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace wlan::core

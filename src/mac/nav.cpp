@@ -1,0 +1,9 @@
+#include "mac/nav.hpp"
+
+namespace wlan::mac {
+
+void Nav::set_until(Microseconds until) {
+  if (until > until_) until_ = until;
+}
+
+}  // namespace wlan::mac

@@ -1,0 +1,28 @@
+// Network Allocation Vector — virtual carrier sense.
+//
+// Stations overhearing RTS/CTS record the advertised exchange duration and
+// treat the medium as busy until it elapses, even if they hear nothing.
+#pragma once
+
+#include "util/time.hpp"
+
+namespace wlan::mac {
+
+class Nav {
+ public:
+  /// Extends the NAV to at least `until`; shorter settings are ignored
+  /// (802.11 keeps the maximum of current and new NAV).
+  void set_until(Microseconds until);
+
+  /// True when virtual carrier sense reports busy at time `now`.
+  [[nodiscard]] bool busy(Microseconds now) const { return now < until_; }
+
+  [[nodiscard]] Microseconds expires_at() const { return until_; }
+
+  void clear() { until_ = Microseconds{0}; }
+
+ private:
+  Microseconds until_{0};
+};
+
+}  // namespace wlan::mac

@@ -1,0 +1,15 @@
+#include "mac/timing.hpp"
+
+namespace wlan::mac {
+
+Timing timing_for(TimingProfile profile) {
+  Timing t;  // defaults are the paper's Table 2 values
+  if (profile == TimingProfile::kStandard) {
+    t.slot = Microseconds{20};
+    t.cw_min = 31;
+    t.cw_max = 1023;
+  }
+  return t;
+}
+
+}  // namespace wlan::mac

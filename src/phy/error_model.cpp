@@ -1,0 +1,65 @@
+#include "phy/error_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wlan::phy {
+
+namespace {
+
+double q_function(double x) {
+  return 0.5 * std::erfc(x / std::sqrt(2.0));
+}
+
+// CCK union-bound style approximation: scaled DQPSK with an SNR penalty that
+// grows with the constellation. Coefficients chosen to put the usable-SNR
+// knees near 4 / 6 / 8 / 11 dB for 1 / 2 / 5.5 / 11 Mbps at 1024-byte frames.
+double ber_linear(Rate rate, double snr) {
+  switch (rate) {
+    case Rate::kR1:
+      // DBPSK, 11x spreading gain.
+      return 0.5 * std::exp(-std::min(snr * 11.0 / 2.0, 700.0));
+    case Rate::kR2:
+      // DQPSK, 11x spreading shared across 2 bits/symbol.
+      return q_function(std::sqrt(snr * 11.0 / 2.0));
+    case Rate::kR5_5:
+      // CCK-4: 8-chip codewords, 4 bits/symbol.
+      return 8.0 * q_function(std::sqrt(snr * 8.0 / 2.0));
+    case Rate::kR11:
+      // CCK-8: 8-chip codewords, 8 bits/symbol, denser codebook.
+      return 128.0 * q_function(std::sqrt(snr * 4.0 / 2.0));
+  }
+  return 0.5;
+}
+
+}  // namespace
+
+double bit_error_rate(Rate rate, double snr_db) {
+  const double snr = std::pow(10.0, snr_db / 10.0);
+  return std::clamp(ber_linear(rate, snr), 0.0, 0.5);
+}
+
+double frame_success_probability(Rate rate, std::uint32_t bytes, double snr_db) {
+  // PLCP preamble+header: 192 bits at 1 Mbps.
+  const double plcp_ok =
+      std::pow(1.0 - bit_error_rate(Rate::kR1, snr_db), 192.0);
+  const double body_ok =
+      std::pow(1.0 - bit_error_rate(rate, snr_db), 8.0 * bytes);
+  return plcp_ok * body_ok;
+}
+
+double required_snr_db(Rate rate, std::uint32_t bytes, double target) {
+  target = std::clamp(target, 1e-6, 1.0 - 1e-9);
+  double lo = -10.0, hi = 40.0;
+  for (int i = 0; i < 60; ++i) {
+    const double mid = (lo + hi) / 2.0;
+    if (frame_success_probability(rate, bytes, mid) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace wlan::phy

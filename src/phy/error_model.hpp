@@ -1,0 +1,35 @@
+// Bit/frame error model for the four 802.11b modulations.
+//
+// BER approximations follow the forms used by the ns-2/ns-3 DSSS models
+// (Pursley & Taipale for CCK):
+//   1 Mbps   DBPSK :  0.5 * exp(-snr)
+//   2 Mbps   DQPSK :  Q(sqrt(1.1586 * snr))   (approximated)
+//   5.5 Mbps CCK   :  ~8-chip CCK union bound
+//   11 Mbps  CCK   :  ~8-chip CCK union bound (256-ary)
+// where snr is the *linear* signal-to-noise ratio.  Exact coefficients are
+// less important than ordering: at equal SNR, BER(1) < BER(2) < BER(5.5)
+// < BER(11), which is what drives rate adaptation in the paper.
+#pragma once
+
+#include <cstdint>
+
+#include "phy/rate.hpp"
+
+namespace wlan::phy {
+
+/// Bit error rate at `snr_db` for the given modulation.  Clamped to [0, 0.5].
+double bit_error_rate(Rate rate, double snr_db);
+
+/// Probability that a frame of `bytes` total MAC bytes at `rate` is received
+/// without error at `snr_db` (PLCP header errors folded in at 1 Mbps).
+double frame_success_probability(Rate rate, std::uint32_t bytes, double snr_db);
+
+/// SNR (dB) needed for ~`target` frame success probability at `bytes` size.
+/// Used by the SNR-threshold rate controller and by tests.
+double required_snr_db(Rate rate, std::uint32_t bytes, double target);
+
+/// SINR margin (dB) above which the stronger of two overlapping frames is
+/// still captured by the receiver (physical-layer capture effect).
+inline constexpr double kCaptureThresholdDb = 10.0;
+
+}  // namespace wlan::phy

@@ -1,0 +1,35 @@
+#include "phy/rate.hpp"
+
+namespace wlan::phy {
+
+std::string_view rate_name(Rate r) {
+  switch (r) {
+    case Rate::kR1: return "1";
+    case Rate::kR2: return "2";
+    case Rate::kR5_5: return "5.5";
+    case Rate::kR11: return "11";
+  }
+  return "?";
+}
+
+std::optional<Rate> parse_rate(std::string_view text) {
+  // Accept a bare number with optional "Mbps" suffix.
+  auto strip = [](std::string_view s) {
+    while (!s.empty() && (s.back() == ' ')) s.remove_suffix(1);
+    constexpr std::string_view kSuffix = "Mbps";
+    if (s.size() >= kSuffix.size() &&
+        s.substr(s.size() - kSuffix.size()) == kSuffix) {
+      s.remove_suffix(kSuffix.size());
+    }
+    while (!s.empty() && s.back() == ' ') s.remove_suffix(1);
+    return s;
+  };
+  const std::string_view v = strip(text);
+  if (v == "1") return Rate::kR1;
+  if (v == "2") return Rate::kR2;
+  if (v == "5.5") return Rate::kR5_5;
+  if (v == "11") return Rate::kR11;
+  return std::nullopt;
+}
+
+}  // namespace wlan::phy

@@ -1,0 +1,58 @@
+// The four IEEE 802.11b (DSSS/CCK) data rates and helpers.
+//
+// The paper's entire taxonomy (Figures 8-15) is indexed by these four rates,
+// so they are a first-class enum rather than a bare integer.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace wlan::phy {
+
+enum class Rate : std::uint8_t {
+  kR1 = 0,   ///< 1 Mbps, DBPSK (Barker)
+  kR2 = 1,   ///< 2 Mbps, DQPSK (Barker)
+  kR5_5 = 2, ///< 5.5 Mbps, CCK
+  kR11 = 3,  ///< 11 Mbps, CCK
+};
+
+inline constexpr std::array<Rate, 4> kAllRates = {Rate::kR1, Rate::kR2,
+                                                  Rate::kR5_5, Rate::kR11};
+inline constexpr std::size_t kNumRates = kAllRates.size();
+
+/// Index in [0, kNumRates) for dense per-rate arrays.
+constexpr std::size_t rate_index(Rate r) { return static_cast<std::size_t>(r); }
+
+/// Rate in kilobits per second (5.5 Mbps is not integral in Mbps).
+constexpr std::uint32_t rate_kbps(Rate r) {
+  switch (r) {
+    case Rate::kR1: return 1000;
+    case Rate::kR2: return 2000;
+    case Rate::kR5_5: return 5500;
+    case Rate::kR11: return 11000;
+  }
+  return 0;
+}
+
+/// Rate in Mbps as a double, for reporting.
+constexpr double rate_mbps(Rate r) { return rate_kbps(r) / 1000.0; }
+
+/// Human-readable name used in figure legends: "1", "2", "5.5", "11".
+std::string_view rate_name(Rate r);
+
+/// Parses "1", "2", "5.5", "11" (also "1Mbps" etc.); nullopt on failure.
+std::optional<Rate> parse_rate(std::string_view text);
+
+/// Next lower / higher rate for rate-adaptation ladders (saturating).
+constexpr Rate next_lower(Rate r) {
+  return r == Rate::kR1 ? Rate::kR1
+                        : static_cast<Rate>(static_cast<std::uint8_t>(r) - 1);
+}
+constexpr Rate next_higher(Rate r) {
+  return r == Rate::kR11 ? Rate::kR11
+                         : static_cast<Rate>(static_cast<std::uint8_t>(r) + 1);
+}
+
+}  // namespace wlan::phy

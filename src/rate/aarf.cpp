@@ -1,0 +1,38 @@
+#include "rate/aarf.hpp"
+
+#include <algorithm>
+
+namespace wlan::rate {
+
+phy::Rate Aarf::rate_for_next(double /*snr_hint_db*/) { return rate_; }
+
+void Aarf::on_success() {
+  failures_ = 0;
+  probing_ = false;
+  if (++successes_ >= up_threshold_) {
+    successes_ = 0;
+    if (rate_ != phy::Rate::kR11) {
+      rate_ = phy::next_higher(rate_);
+      probing_ = true;
+    }
+  }
+}
+
+void Aarf::on_failure() {
+  successes_ = 0;
+  if (probing_) {
+    probing_ = false;
+    rate_ = phy::next_lower(rate_);
+    // Penalize the failed probe: require a longer success train next time.
+    up_threshold_ = std::min(up_threshold_ * 2, kMaxUpThreshold);
+    failures_ = 0;
+    return;
+  }
+  if (++failures_ >= down_threshold_) {
+    failures_ = 0;
+    rate_ = phy::next_lower(rate_);
+    up_threshold_ = base_up_;  // fresh operating point
+  }
+}
+
+}  // namespace wlan::rate

@@ -1,0 +1,33 @@
+// Adaptive ARF (Lacage et al.): like ARF, but a failed upward probe doubles
+// the success train required before the next probe, damping the oscillation
+// ARF exhibits at a stable operating point.
+#pragma once
+
+#include "rate/rate_controller.hpp"
+
+namespace wlan::rate {
+
+class Aarf final : public RateController {
+ public:
+  Aarf(std::uint32_t base_up_threshold, std::uint32_t down_threshold)
+      : base_up_(base_up_threshold), up_threshold_(base_up_threshold),
+        down_threshold_(down_threshold) {}
+
+  phy::Rate rate_for_next(double snr_hint_db) override;
+  void on_success() override;
+  void on_failure() override;
+  [[nodiscard]] std::string_view name() const override { return "AARF"; }
+
+ private:
+  static constexpr std::uint32_t kMaxUpThreshold = 50;
+
+  std::uint32_t base_up_;
+  std::uint32_t up_threshold_;
+  std::uint32_t down_threshold_;
+  phy::Rate rate_ = phy::Rate::kR11;
+  std::uint32_t successes_ = 0;
+  std::uint32_t failures_ = 0;
+  bool probing_ = false;
+};
+
+}  // namespace wlan::rate

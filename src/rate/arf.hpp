@@ -1,0 +1,31 @@
+// Auto Rate Fallback (Kamerman & Monteban, WaveLAN-II) — the "generic ARF"
+// the paper describes: drop the rate after consecutive failures, probe one
+// rate up after a train of successes.
+#pragma once
+
+#include "rate/rate_controller.hpp"
+
+namespace wlan::rate {
+
+class Arf final : public RateController {
+ public:
+  Arf(std::uint32_t up_threshold, std::uint32_t down_threshold)
+      : up_threshold_(up_threshold), down_threshold_(down_threshold) {}
+
+  phy::Rate rate_for_next(double snr_hint_db) override;
+  void on_success() override;
+  void on_failure() override;
+  [[nodiscard]] std::string_view name() const override { return "ARF"; }
+
+  [[nodiscard]] phy::Rate current() const { return rate_; }
+
+ private:
+  std::uint32_t up_threshold_;
+  std::uint32_t down_threshold_;
+  phy::Rate rate_ = phy::Rate::kR11;
+  std::uint32_t successes_ = 0;
+  std::uint32_t failures_ = 0;
+  bool probing_ = false;  ///< the next frame is the post-upgrade probe
+};
+
+}  // namespace wlan::rate

@@ -1,0 +1,4 @@
+#include "rate/fixed.hpp"
+
+// Fixed is header-only in behaviour; this TU anchors the vtable.
+namespace wlan::rate {}

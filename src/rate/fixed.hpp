@@ -1,0 +1,22 @@
+// Fixed-rate controller — the "no adaptation" baseline for the ablation the
+// paper's conclusion argues for.
+#pragma once
+
+#include "rate/rate_controller.hpp"
+
+namespace wlan::rate {
+
+class Fixed final : public RateController {
+ public:
+  explicit Fixed(phy::Rate rate) : rate_(rate) {}
+
+  phy::Rate rate_for_next(double /*snr_hint_db*/) override { return rate_; }
+  void on_success() override {}
+  void on_failure() override {}
+  [[nodiscard]] std::string_view name() const override { return "FIXED"; }
+
+ private:
+  phy::Rate rate_;
+};
+
+}  // namespace wlan::rate

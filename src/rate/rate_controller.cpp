@@ -1,0 +1,38 @@
+#include "rate/rate_controller.hpp"
+
+#include "rate/aarf.hpp"
+#include "rate/arf.hpp"
+#include "rate/fixed.hpp"
+#include "rate/snr_threshold.hpp"
+
+namespace wlan::rate {
+
+std::unique_ptr<RateController> make_controller(const ControllerConfig& config) {
+  switch (config.policy) {
+    case Policy::kArf:
+      return std::make_unique<Arf>(config.up_threshold, config.down_threshold);
+    case Policy::kAarf:
+      return std::make_unique<Aarf>(config.up_threshold, config.down_threshold);
+    case Policy::kSnrThreshold:
+      return std::make_unique<SnrThreshold>(config.snr_target,
+                                            config.snr_frame_bytes);
+    case Policy::kFixed1:
+      return std::make_unique<Fixed>(phy::Rate::kR1);
+    case Policy::kFixed11:
+      return std::make_unique<Fixed>(phy::Rate::kR11);
+  }
+  return std::make_unique<Arf>(config.up_threshold, config.down_threshold);
+}
+
+std::string_view policy_name(Policy policy) {
+  switch (policy) {
+    case Policy::kArf: return "ARF";
+    case Policy::kAarf: return "AARF";
+    case Policy::kSnrThreshold: return "SNR";
+    case Policy::kFixed1: return "FIXED-1";
+    case Policy::kFixed11: return "FIXED-11";
+  }
+  return "?";
+}
+
+}  // namespace wlan::rate

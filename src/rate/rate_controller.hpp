@@ -1,0 +1,54 @@
+// Multirate adaptation interface.
+//
+// The 802.11 standard leaves rate adaptation to vendors (paper §3); the
+// paper's central finding is that ARF-style loss-triggered adaptation is
+// detrimental under congestion because it cannot distinguish collision
+// losses from channel-error losses.  This interface lets benches swap the
+// policy (the ablation the paper could not run on proprietary firmware).
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "phy/rate.hpp"
+
+namespace wlan::rate {
+
+class RateController {
+ public:
+  virtual ~RateController() = default;
+
+  /// Rate to use for the next transmission attempt of a frame.
+  /// `snr_hint_db` is the last known SNR toward the receiver (< -100 when
+  /// unknown); loss-based policies ignore it.
+  [[nodiscard]] virtual phy::Rate rate_for_next(double snr_hint_db) = 0;
+
+  /// A data frame was acknowledged on its first or retried attempt.
+  virtual void on_success() = 0;
+
+  /// A transmission attempt failed (no ACK / no CTS).
+  virtual void on_failure() = 0;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+enum class Policy { kArf, kAarf, kSnrThreshold, kFixed1, kFixed11 };
+
+struct ControllerConfig {
+  Policy policy = Policy::kArf;
+  /// ARF: successes needed to probe one rate up.
+  std::uint32_t up_threshold = 10;
+  /// ARF: consecutive failures that force one rate down.
+  std::uint32_t down_threshold = 2;
+  /// SNR policy: target frame success probability.
+  double snr_target = 0.9;
+  /// SNR policy: representative frame size for threshold computation.
+  std::uint32_t snr_frame_bytes = 1024;
+};
+
+[[nodiscard]] std::unique_ptr<RateController> make_controller(
+    const ControllerConfig& config);
+
+[[nodiscard]] std::string_view policy_name(Policy policy);
+
+}  // namespace wlan::rate

@@ -1,0 +1,24 @@
+#include "rate/snr_threshold.hpp"
+
+#include "phy/error_model.hpp"
+
+namespace wlan::rate {
+
+SnrThreshold::SnrThreshold(double target, std::uint32_t frame_bytes) {
+  for (phy::Rate r : phy::kAllRates) {
+    thresholds_[phy::rate_index(r)] =
+        phy::required_snr_db(r, frame_bytes, target);
+  }
+}
+
+phy::Rate SnrThreshold::rate_for_next(double snr_hint_db) {
+  if (snr_hint_db > -100.0) last_known_snr_ = snr_hint_db;
+  // Highest rate whose threshold the SNR clears; 1 Mbps is the floor.
+  phy::Rate best = phy::Rate::kR1;
+  for (phy::Rate r : phy::kAllRates) {
+    if (last_known_snr_ >= thresholds_[phy::rate_index(r)]) best = r;
+  }
+  return best;
+}
+
+}  // namespace wlan::rate

@@ -1,0 +1,34 @@
+// SNR-threshold rate selection (RBAR/OAR-flavoured).
+//
+// The paper's conclusion recommends exactly this family: pick the highest
+// rate whose expected frame success probability at the observed SNR meets a
+// target, so collision losses do not drag the rate down.
+#pragma once
+
+#include <array>
+
+#include "rate/rate_controller.hpp"
+
+namespace wlan::rate {
+
+class SnrThreshold final : public RateController {
+ public:
+  /// Thresholds derived from the PHY error model: minimum SNR at which a
+  /// `frame_bytes` frame succeeds with probability >= `target`.
+  SnrThreshold(double target, std::uint32_t frame_bytes);
+
+  phy::Rate rate_for_next(double snr_hint_db) override;
+  void on_success() override {}
+  void on_failure() override {}
+  [[nodiscard]] std::string_view name() const override { return "SNR"; }
+
+  [[nodiscard]] double threshold_db(phy::Rate r) const {
+    return thresholds_[phy::rate_index(r)];
+  }
+
+ private:
+  std::array<double, phy::kNumRates> thresholds_{};
+  double last_known_snr_ = 25.0;  ///< optimistic until first measurement
+};
+
+}  // namespace wlan::rate

@@ -1,0 +1,265 @@
+#include "sim/channel.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "phy/error_model.hpp"
+#include "sim/sniffer.hpp"
+#include "util/logging.hpp"
+
+namespace wlan::sim {
+
+Channel::Channel(Simulator& sim, const phy::Propagation& prop,
+                 const mac::Timing& timing, std::uint8_t number,
+                 std::uint64_t seed)
+    : sim_(sim), prop_(prop), timing_(timing), number_(number),
+      rng_(seed ^ (0xC0FFEEULL + number)) {}
+
+void Channel::add_node(MacEntity* node) {
+  nodes_.push_back(node);
+  by_addr_[node->addr()] = node;
+}
+
+void Channel::add_alias(mac::Addr alias, MacEntity* node) {
+  by_addr_[alias] = node;
+}
+
+void Channel::remove_node(MacEntity* node) {
+  cancel_access(node);
+  nodes_.erase(std::remove(nodes_.begin(), nodes_.end(), node), nodes_.end());
+  for (auto it = by_addr_.begin(); it != by_addr_.end();) {
+    it = it->second == node ? by_addr_.erase(it) : std::next(it);
+  }
+}
+
+void Channel::add_sniffer(Sniffer* sniffer) { sniffers_.push_back(sniffer); }
+
+const MacEntity* Channel::peer(mac::Addr addr) const {
+  const auto it = by_addr_.find(addr);
+  return it == by_addr_.end() ? nullptr : it->second;
+}
+
+void Channel::request_access(MacEntity* node, std::uint32_t slots) {
+  assert(std::none_of(contenders_.begin(), contenders_.end(),
+                      [&](const Contender& c) { return c.node == node; }));
+  // A station joining mid-idle must still sense a full DIFS before counting
+  // slots; credit it with the slots that already elapsed this idle period so
+  // the shared timer stays correct for everyone.
+  std::uint32_t handicap = 0;
+  if (active_.empty()) {
+    const auto since_difs = sim_.now() - (idle_anchor_ + timing_.difs);
+    if (since_difs > Microseconds{0}) {
+      handicap = static_cast<std::uint32_t>(since_difs.count() /
+                                            timing_.slot.count());
+    }
+  }
+  contenders_.push_back(Contender{node, slots + handicap});
+  if (active_.empty()) schedule_access_timer();
+}
+
+void Channel::cancel_access(MacEntity* node) {
+  const auto it = std::find_if(contenders_.begin(), contenders_.end(),
+                               [&](const Contender& c) { return c.node == node; });
+  if (it == contenders_.end()) return;
+  contenders_.erase(it);
+  if (active_.empty()) schedule_access_timer();
+}
+
+void Channel::transmit(MacEntity* from, const mac::Frame& frame,
+                       std::function<void()> on_air_done) {
+  const bool was_idle = active_.empty();
+  Active a;
+  a.frame = frame;
+  // Deterministic per-run frame ids when the network shares a counter.
+  if (frame_counter_) a.frame.id = ++*frame_counter_;
+  a.from = from;
+  a.power_offset_db = from->tx_power_offset_db();
+  a.start = sim_.now();
+  a.end = sim_.now() + frame.airtime();
+  a.on_air_done = std::move(on_air_done);
+  // Mutual overlap bookkeeping with everything already on air.
+  for (Active& other : active_) {
+    other.overlaps.push_back({from->position(), a.power_offset_db});
+    a.overlaps.push_back({other.from->position(), other.power_offset_db});
+  }
+  active_.push_back(std::move(a));
+  ++tx_count_;
+
+  if (was_idle && access_timer_set_) {
+    // Medium went busy before the pending access fired: freeze backoff.
+    sim_.cancel(access_timer_);
+    access_timer_set_ = false;
+    consume_elapsed_slots(sim_.now());
+  }
+
+  // Use the (possibly re-assigned) id of the queued copy, not the caller's.
+  const std::uint64_t id = active_.back().frame.id;
+  sim_.at(active_.back().end, [this, id] { on_transmission_end(id); });
+}
+
+void Channel::consume_elapsed_slots(Microseconds busy_start) {
+  const auto countdown_start = idle_anchor_ + timing_.difs;
+  if (busy_start <= countdown_start) return;
+  const auto elapsed = static_cast<std::uint32_t>(
+      (busy_start - countdown_start).count() / timing_.slot.count());
+  for (Contender& c : contenders_) c.slots = c.slots > elapsed ? c.slots - elapsed : 0;
+}
+
+void Channel::on_transmission_end(std::uint64_t frame_id) {
+  const auto it = std::find_if(active_.begin(), active_.end(),
+                               [&](const Active& a) { return a.frame.id == frame_id; });
+  assert(it != active_.end());
+  Active done = std::move(*it);
+  active_.erase(it);
+
+  // Sender bookkeeping first (start timeouts), then receptions, then medium
+  // state — so a SIFS response scheduled during reception still sees the
+  // correct idle anchor.
+  if (done.on_air_done) done.on_air_done();
+  evaluate_receptions(done);
+  if (active_.empty()) medium_went_idle();
+}
+
+double Channel::sinr_db_at(const Active& a, const phy::Position& rx) const {
+  const double signal_dbm =
+      prop_.rx_power_dbm(a.from->position(), rx) + a.power_offset_db;
+  double denom_mw = phy::dbm_to_mw(prop_.config().noise_floor_dbm);
+  for (const Interferer& i : a.overlaps) {
+    denom_mw +=
+        phy::dbm_to_mw(prop_.rx_power_dbm(i.position, rx) + i.power_offset_db);
+  }
+  return signal_dbm - phy::mw_to_dbm(denom_mw);
+}
+
+void Channel::evaluate_receptions(const Active& done) {
+  const mac::Frame& f = done.frame;
+
+  // Range check with the sender's power offset folded in.
+  auto receivable = [&](const phy::Position& rx) {
+    return prop_.rx_power_dbm(done.from->position(), rx) +
+               done.power_offset_db >=
+           prop_.config().min_rx_dbm;
+  };
+
+  // Broadcast delivery: each node draws its own reception independently.
+  auto try_deliver = [&](MacEntity* rx) {
+    if (rx == done.from) return;
+    if (!receivable(rx->position())) return;
+    const double sinr = sinr_db_at(done, rx->position());
+    const double p = phy::frame_success_probability(f.rate, f.size_bytes(), sinr);
+    if (rng_.chance(p)) rx->on_receive(f, sinr);
+  };
+
+  if (f.dst == mac::kBroadcast) {
+    for (MacEntity* n : nodes_) try_deliver(n);
+    if (ground_truth_) {
+      trace::TxRecord rec;
+      rec.time_us = done.start.count();
+      rec.frame_id = f.id;
+      rec.type = f.type;
+      rec.src = f.src;
+      rec.dst = f.dst;
+      rec.channel = number_;
+      rec.rate = f.rate;
+      rec.size_bytes = f.size_bytes();
+      rec.retry = f.retry;
+      rec.seq = f.seq;
+      rec.outcome = trace::TxOutcome::kDelivered;
+      ground_truth_->push_back(rec);
+    }
+  } else {
+    const auto it = by_addr_.find(f.dst);
+    MacEntity* rx = it == by_addr_.end() ? nullptr : it->second;
+    trace::TxOutcome outcome = trace::TxOutcome::kChannelError;
+    if (rx && rx != done.from) {
+      bool delivered = false;
+      double sinr = -100.0;
+      if (receivable(rx->position())) {
+        sinr = sinr_db_at(done, rx->position());
+        const double p =
+            phy::frame_success_probability(f.rate, f.size_bytes(), sinr);
+        delivered = rng_.chance(p);
+      }
+      if (delivered) {
+        outcome = trace::TxOutcome::kDelivered;
+      } else if (!done.overlaps.empty()) {
+        outcome = trace::TxOutcome::kCollision;
+        ++collision_count_;
+      }
+      if (delivered) rx->on_receive(f, sinr);
+    }
+    if (ground_truth_) {
+      trace::TxRecord rec;
+      rec.time_us = done.start.count();
+      rec.frame_id = f.id;
+      rec.type = f.type;
+      rec.src = f.src;
+      rec.dst = f.dst;
+      rec.channel = number_;
+      rec.rate = f.rate;
+      rec.size_bytes = f.size_bytes();
+      rec.retry = f.retry;
+      rec.seq = f.seq;
+      rec.outcome = outcome;
+      ground_truth_->push_back(rec);
+    }
+  }
+
+  // Sniffers overhear everything on their channel, range permitting.
+  for (Sniffer* s : sniffers_) {
+    s->observe(f, done.start, sinr_db_at(done, s->position()),
+               receivable(s->position()));
+  }
+}
+
+void Channel::medium_went_idle() {
+  idle_anchor_ = sim_.now();
+  schedule_access_timer();
+}
+
+void Channel::schedule_access_timer() {
+  if (access_timer_set_) {
+    sim_.cancel(access_timer_);
+    access_timer_set_ = false;
+  }
+  if (!active_.empty() || contenders_.empty()) return;
+  const auto min_it = std::min_element(
+      contenders_.begin(), contenders_.end(),
+      [](const Contender& a, const Contender& b) { return a.slots < b.slots; });
+  const Microseconds fire_at =
+      idle_anchor_ + timing_.difs + timing_.slot * min_it->slots;
+  const Microseconds when = fire_at < sim_.now() ? sim_.now() : fire_at;
+  access_timer_ = sim_.at(when, [this] { fire_access(); });
+  access_timer_set_ = true;
+}
+
+void Channel::fire_access() {
+  access_timer_set_ = false;
+  if (!active_.empty() || contenders_.empty()) return;
+
+  std::uint32_t min_slots = contenders_.front().slots;
+  for (const Contender& c : contenders_) min_slots = std::min(min_slots, c.slots);
+
+  // Everyone burns min_slots; those at zero transmit (and may collide).
+  std::vector<MacEntity*> winners;
+  for (auto it = contenders_.begin(); it != contenders_.end();) {
+    it->slots -= min_slots;
+    if (it->slots == 0) {
+      winners.push_back(it->node);
+      it = contenders_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Slot countdown restarts after the upcoming busy period; anchor moves so
+  // remaining contenders do not double-count the consumed slots.
+  idle_anchor_ = sim_.now() - timing_.difs;
+
+  for (MacEntity* w : winners) w->access_granted();
+
+  // If a winner decided not to transmit (empty queue race), the medium may
+  // still be idle: re-arm the timer for the remaining contenders.
+  if (active_.empty()) schedule_access_timer();
+}
+
+}  // namespace wlan::sim

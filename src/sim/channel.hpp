@@ -1,0 +1,143 @@
+// One 802.11b channel: the radio medium plus centralized DCF slot
+// arbitration.
+//
+// Model notes (see DESIGN.md §5):
+//  * The paper studies "a high density of nodes within a single collision
+//    domain"; we arbitrate DCF slots centrally per channel, which is exactly
+//    equivalent to per-station carrier sense when every station senses every
+//    other.  Two or more stations drawing the same backoff slot transmit
+//    together and collide — the congestion process under study.
+//  * Reception is SINR-based per receiver: signal over noise plus the sum of
+//    all transmissions that overlapped the frame at the receiver, with the
+//    PHY capture effect folded into the error model.  Range-limited sniffers
+//    therefore miss distant/hidden senders even though slot arbitration is
+//    centralized.
+//  * SIFS-separated responses (CTS/ACK/DATA-after-CTS) bypass contention via
+//    direct transmit() calls; because SIFS < DIFS, they always beat the
+//    access timer, giving the standard's atomic exchanges.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "mac/frame.hpp"
+#include "mac/timing.hpp"
+#include "phy/propagation.hpp"
+#include "sim/node.hpp"
+#include "sim/simulator.hpp"
+#include "trace/record.hpp"
+#include "util/rng.hpp"
+
+namespace wlan::sim {
+
+class Sniffer;
+
+class Channel {
+ public:
+  Channel(Simulator& sim, const phy::Propagation& prop, const mac::Timing& timing,
+          std::uint8_t number, std::uint64_t seed);
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Registers a node under its primary address.
+  void add_node(MacEntity* node);
+  /// Registers an extra receive address for `node` (virtual-AP BSSIDs).
+  void add_alias(mac::Addr alias, MacEntity* node);
+  void remove_node(MacEntity* node);
+  void add_sniffer(Sniffer* sniffer);
+
+  /// Ground-truth log (optional); one TxRecord per transmission.
+  void set_ground_truth(std::vector<trace::TxRecord>* log) { ground_truth_ = log; }
+
+  /// Shares a frame-id counter across the network's channels so ids are
+  /// deterministic per run (the factories' fallback counter is process-wide
+  /// and would leak ordering between runs).
+  void set_frame_counter(std::uint64_t* counter) { frame_counter_ = counter; }
+
+  /// Enters the node into contention with `slots` of backoff to burn.
+  /// The node must not already be contending.
+  void request_access(MacEntity* node, std::uint32_t slots);
+
+  /// Withdraws a pending access request (e.g. station shutting down).
+  void cancel_access(MacEntity* node);
+
+  /// Puts `frame` on the air now.  `on_air_done` (optional) runs at the end
+  /// of the frame, before receptions are delivered — senders use it to start
+  /// response timeouts.
+  void transmit(MacEntity* from, const mac::Frame& frame,
+                std::function<void()> on_air_done = {});
+
+  [[nodiscard]] bool busy() const { return !active_.empty(); }
+  [[nodiscard]] std::uint8_t number() const { return number_; }
+  [[nodiscard]] const mac::Timing& timing() const { return timing_; }
+  [[nodiscard]] Simulator& simulator() { return sim_; }
+
+  /// Position of the node that owns `addr` (aliases included); nullptr when
+  /// unknown.  Used for SNR hints toward a peer.
+  [[nodiscard]] const MacEntity* peer(mac::Addr addr) const;
+
+  /// Long-term SNR of the link between two positions (no interference).
+  [[nodiscard]] double snr_between(const phy::Position& a,
+                                   const phy::Position& b) const {
+    return prop_.snr_db(a, b);
+  }
+
+  [[nodiscard]] std::uint64_t transmissions() const { return tx_count_; }
+  [[nodiscard]] std::uint64_t collisions() const { return collision_count_; }
+
+ private:
+  struct Interferer {
+    phy::Position position;
+    double power_offset_db;
+  };
+
+  struct Active {
+    mac::Frame frame;
+    MacEntity* from;
+    double power_offset_db = 0.0;
+    Microseconds start;
+    Microseconds end;
+    std::function<void()> on_air_done;
+    /// Transmitters of every frame that overlapped this one.
+    std::vector<Interferer> overlaps;
+  };
+
+  struct Contender {
+    MacEntity* node;
+    std::uint32_t slots;
+  };
+
+  void on_transmission_end(std::uint64_t frame_id);
+  void evaluate_receptions(const Active& done);
+  void medium_went_idle();
+  void consume_elapsed_slots(Microseconds busy_start);
+  void schedule_access_timer();
+  void fire_access();
+  [[nodiscard]] double sinr_db_at(const Active& a, const phy::Position& rx) const;
+
+  Simulator& sim_;
+  const phy::Propagation& prop_;
+  mac::Timing timing_;
+  std::uint8_t number_;
+  util::Rng rng_;
+
+  std::unordered_map<mac::Addr, MacEntity*> by_addr_;
+  std::vector<MacEntity*> nodes_;
+  std::vector<Sniffer*> sniffers_;
+  std::vector<Active> active_;
+  std::vector<Contender> contenders_;
+
+  Microseconds idle_anchor_{0};  ///< when the current idle period began
+  EventId access_timer_{};
+  bool access_timer_set_ = false;
+
+  std::vector<trace::TxRecord>* ground_truth_ = nullptr;
+  std::uint64_t* frame_counter_ = nullptr;
+  std::uint64_t tx_count_ = 0;
+  std::uint64_t collision_count_ = 0;
+};
+
+}  // namespace wlan::sim

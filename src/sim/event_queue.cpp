@@ -1,0 +1,47 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wlan::sim {
+
+EventId EventQueue::schedule(Microseconds at, std::function<void()> fn) {
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{at, seq, std::move(fn)});
+  ++live_;
+  return EventId{seq};
+}
+
+void EventQueue::cancel(EventId id) {
+  if (!id.valid()) return;
+  // Lazy cancellation: remember the seq, skip it when it surfaces.  Double
+  // cancellation of the same id is a no-op.
+  if (cancelled_.insert(id.seq_).second && live_ > 0) --live_;
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.top().seq);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+Microseconds EventQueue::next_time() const {
+  drop_cancelled();
+  return heap_.empty() ? Microseconds::never() : heap_.top().at;
+}
+
+Microseconds EventQueue::run_next() {
+  drop_cancelled();
+  assert(!heap_.empty());
+  // Move the entry out before running: the callback may schedule new events.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  --live_;
+  entry.fn();
+  return entry.at;
+}
+
+}  // namespace wlan::sim

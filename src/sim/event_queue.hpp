@@ -1,0 +1,67 @@
+// Discrete-event scheduler: a binary heap of (time, sequence) keyed events
+// with O(1) lazy cancellation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace wlan::sim {
+
+/// Handle for cancelling a scheduled event.  Default-constructed handles are
+/// inert ("no event").
+class EventId {
+ public:
+  EventId() = default;
+  [[nodiscard]] bool valid() const { return seq_ != 0; }
+
+ private:
+  friend class EventQueue;
+  explicit EventId(std::uint64_t seq) : seq_(seq) {}
+  std::uint64_t seq_ = 0;
+};
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `at`.  Events at equal times run in
+  /// scheduling order (the sequence number breaks ties), which keeps runs
+  /// deterministic.
+  EventId schedule(Microseconds at, std::function<void()> fn);
+
+  /// Cancels a previously scheduled event; harmless if already run/cancelled.
+  void cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  /// Time of the earliest live event; Microseconds::never() when empty.
+  [[nodiscard]] Microseconds next_time() const;
+
+  /// Pops and runs the earliest event; returns its time.
+  /// Precondition: !empty().
+  Microseconds run_next();
+
+ private:
+  struct Entry {
+    Microseconds at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Entry& other) const {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  mutable std::unordered_set<std::uint64_t> cancelled_;
+  std::size_t live_ = 0;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace wlan::sim

@@ -1,0 +1,94 @@
+#include "sim/network.hpp"
+
+#include <stdexcept>
+
+namespace wlan::sim {
+
+Network::Network(const NetworkConfig& config)
+    : prop_(config.propagation, config.seed),
+      timing_(mac::timing_for(config.timing_profile)), rng_(config.seed),
+      channel_numbers_(config.channels),
+      ap_power_offset_db_(config.ap_power_offset_db) {
+  channels_.reserve(channel_numbers_.size());
+  for (std::uint8_t n : channel_numbers_) {
+    channels_.push_back(
+        std::make_unique<Channel>(sim_, prop_, timing_, n, config.seed));
+    channels_.back()->set_ground_truth(&ground_truth_);
+    channels_.back()->set_frame_counter(&frame_counter_);
+  }
+}
+
+Channel& Network::channel(std::uint8_t number) {
+  for (std::size_t i = 0; i < channel_numbers_.size(); ++i) {
+    if (channel_numbers_[i] == number) return *channels_[i];
+  }
+  throw std::out_of_range("Network: channel not configured");
+}
+
+AccessPoint& Network::add_ap(const phy::Position& where,
+                             std::uint8_t channel_no, int num_vaps) {
+  StationConfig cfg;
+  cfg.position = where;
+  cfg.seed = rng_.next();
+  cfg.queue_limit = 256;  // APs aggregate many flows
+  cfg.tx_power_offset_db = ap_power_offset_db_;
+  const mac::Addr radio = allocate_addr();
+  std::vector<mac::Addr> vaps;
+  vaps.reserve(static_cast<std::size_t>(num_vaps));
+  for (int i = 0; i < num_vaps; ++i) vaps.push_back(allocate_addr());
+  aps_.push_back(std::make_unique<AccessPoint>(channel(channel_no), radio,
+                                               std::move(vaps), cfg));
+  return *aps_.back();
+}
+
+Station& Network::add_station(std::uint8_t channel_no,
+                              const StationConfig& config) {
+  StationConfig cfg = config;
+  if (cfg.seed == 1) cfg.seed = rng_.next();
+  stations_.push_back(std::make_unique<Station>(channel(channel_no),
+                                                allocate_addr(), cfg));
+  return *stations_.back();
+}
+
+Sniffer& Network::add_sniffer(const SnifferConfig& config) {
+  SnifferConfig cfg = config;
+  if (cfg.seed == 7) cfg.seed = rng_.next();
+  sniffers_.push_back(std::make_unique<Sniffer>(
+      cfg, static_cast<std::uint8_t>(sniffers_.size())));
+  channel(cfg.channel).add_sniffer(sniffers_.back().get());
+  return *sniffers_.back();
+}
+
+Network::ApChoice Network::choose_ap(const phy::Position& where) {
+  ApChoice choice;
+  double best_snr = -1e9;
+  for (const auto& ap : aps_) {
+    const double snr = prop_.snr_db(ap->position(), where);
+    if (snr > best_snr) {
+      best_snr = snr;
+      choice.ap = ap.get();
+    }
+  }
+  if (choice.ap) {
+    choice.vap = choice.ap->least_loaded_vap();
+    choice.channel = choice.ap->channel().number();
+  }
+  return choice;
+}
+
+void Network::run_for(Microseconds duration) {
+  sim_.run_until(sim_.now() + duration);
+}
+
+std::vector<trace::Trace> Network::sniffer_traces() const {
+  std::vector<trace::Trace> traces;
+  traces.reserve(sniffers_.size());
+  for (const auto& s : sniffers_) traces.push_back(s->trace());
+  return traces;
+}
+
+trace::Trace Network::merged_trace() const {
+  return trace::merge_traces(sniffer_traces());
+}
+
+}  // namespace wlan::sim

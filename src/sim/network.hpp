@@ -1,0 +1,103 @@
+// Network: owns the simulation kernel, propagation model, channels, nodes
+// and sniffers, and provides the builder API the workload layer uses.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mac/timing.hpp"
+#include "phy/propagation.hpp"
+#include "sim/access_point.hpp"
+#include "sim/channel.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sniffer.hpp"
+#include "sim/station.hpp"
+#include "trace/record.hpp"
+
+namespace wlan::sim {
+
+struct NetworkConfig {
+  phy::PropagationConfig propagation;
+  mac::TimingProfile timing_profile = mac::TimingProfile::kPaper;
+  std::uint64_t seed = 1;
+  std::vector<std::uint8_t> channels = {1, 6, 11};
+  /// APs transmit hotter than client cards (enterprise APs run ~20 dBm
+  /// against ~15 dBm PCMCIA radios), which keeps the ACK/beacon return
+  /// path alive toward fringe clients.
+  double ap_power_offset_db = 5.0;
+};
+
+class Network {
+ public:
+  explicit Network(const NetworkConfig& config);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  [[nodiscard]] Simulator& simulator() { return sim_; }
+  [[nodiscard]] const mac::Timing& timing() const { return timing_; }
+  [[nodiscard]] const phy::Propagation& propagation() const { return prop_; }
+  [[nodiscard]] util::Rng& rng() { return rng_; }
+
+  /// The channel object for an 802.11b channel number; throws if the channel
+  /// was not in NetworkConfig::channels.
+  [[nodiscard]] Channel& channel(std::uint8_t number);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& channel_numbers() const {
+    return channel_numbers_;
+  }
+
+  /// Creates an AP radio on `channel_no` with `num_vaps` virtual APs.
+  AccessPoint& add_ap(const phy::Position& where, std::uint8_t channel_no,
+                      int num_vaps = 4);
+
+  /// Creates a client station on `channel_no`.
+  Station& add_station(std::uint8_t channel_no, const StationConfig& config);
+
+  Sniffer& add_sniffer(const SnifferConfig& config);
+
+  /// Association decision (paper §4.1: strongest AP, least-loaded VAP).
+  struct ApChoice {
+    AccessPoint* ap = nullptr;
+    mac::Addr vap = mac::kNoAddr;
+    std::uint8_t channel = 0;
+  };
+  [[nodiscard]] ApChoice choose_ap(const phy::Position& where);
+
+  void run_for(Microseconds duration);
+
+  [[nodiscard]] std::vector<trace::Trace> sniffer_traces() const;
+  [[nodiscard]] trace::Trace merged_trace() const;
+  [[nodiscard]] const std::vector<trace::TxRecord>& ground_truth() const {
+    return ground_truth_;
+  }
+
+  [[nodiscard]] const std::vector<std::unique_ptr<AccessPoint>>& aps() const {
+    return aps_;
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<Station>>& stations() const {
+    return stations_;
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<Sniffer>>& sniffers() const {
+    return sniffers_;
+  }
+
+  [[nodiscard]] mac::Addr allocate_addr() { return next_addr_++; }
+
+ private:
+  Simulator sim_;
+  phy::Propagation prop_;
+  mac::Timing timing_;
+  util::Rng rng_;
+  std::vector<std::uint8_t> channel_numbers_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::vector<std::unique_ptr<AccessPoint>> aps_;
+  std::vector<std::unique_ptr<Station>> stations_;
+  std::vector<std::unique_ptr<Sniffer>> sniffers_;
+  std::vector<trace::TxRecord> ground_truth_;
+  std::uint64_t frame_counter_ = 0;
+  double ap_power_offset_db_ = 5.0;
+  mac::Addr next_addr_ = 1;
+};
+
+}  // namespace wlan::sim

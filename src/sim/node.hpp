@@ -1,0 +1,32 @@
+// Interface between the channel (medium + DCF arbitration) and MAC entities
+// (client stations and access points).
+#pragma once
+
+#include "mac/frame.hpp"
+#include "phy/propagation.hpp"
+
+namespace wlan::sim {
+
+class MacEntity {
+ public:
+  virtual ~MacEntity() = default;
+
+  /// The channel grants this node a transmit opportunity (its backoff
+  /// expired on an idle medium).  The node must either call
+  /// Channel::transmit() in this callback or re-request access later.
+  virtual void access_granted() = 0;
+
+  /// A frame addressed to this node (or broadcast) was decoded successfully.
+  virtual void on_receive(const mac::Frame& frame, double snr_db) = 0;
+
+  [[nodiscard]] virtual phy::Position position() const = 0;
+  [[nodiscard]] virtual mac::Addr addr() const = 0;
+
+  /// Transmit power delta against the propagation model's default, in dB.
+  /// The paper's §7 suggests clients "dynamically change the transmit
+  /// power such that data frames are consistently transmitted at high data
+  /// rates"; stations implementing that raise this value.
+  [[nodiscard]] virtual double tx_power_offset_db() const { return 0.0; }
+};
+
+}  // namespace wlan::sim

@@ -1,0 +1,24 @@
+#include "sim/simulator.hpp"
+
+namespace wlan::sim {
+
+void Simulator::run_until(Microseconds until) {
+  while (!queue_.empty() && queue_.next_time() <= until) {
+    // Advance the clock *before* dispatching: callbacks must observe their
+    // own timestamp through now().
+    now_ = queue_.next_time();
+    queue_.run_next();
+    ++executed_;
+  }
+  if (now_ < until) now_ = until;
+}
+
+void Simulator::run() {
+  while (!queue_.empty()) {
+    now_ = queue_.next_time();
+    queue_.run_next();
+    ++executed_;
+  }
+}
+
+}  // namespace wlan::sim

@@ -1,0 +1,39 @@
+// Simulation kernel: the clock plus the event queue.
+#pragma once
+
+#include "sim/event_queue.hpp"
+#include "util/time.hpp"
+
+namespace wlan::sim {
+
+class Simulator {
+ public:
+  [[nodiscard]] Microseconds now() const { return now_; }
+
+  EventId at(Microseconds when, std::function<void()> fn) {
+    return queue_.schedule(when < now_ ? now_ : when, std::move(fn));
+  }
+
+  EventId in(Microseconds delay, std::function<void()> fn) {
+    return queue_.schedule(now_ + delay, std::move(fn));
+  }
+
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  /// Runs events until the queue drains or the clock passes `until`.
+  /// Events scheduled exactly at `until` still run.
+  void run_until(Microseconds until);
+
+  /// Runs everything (use only with workloads that stop by themselves).
+  void run();
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  EventQueue queue_;
+  Microseconds now_{0};
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace wlan::sim

@@ -1,0 +1,69 @@
+#include "sim/sniffer.hpp"
+
+#include <algorithm>
+
+#include "phy/error_model.hpp"
+
+namespace wlan::sim {
+
+Sniffer::Sniffer(const SnifferConfig& config, std::uint8_t id)
+    : config_(config), id_(id), rng_(config.seed ^ (0x534EULL * (id + 1))) {}
+
+void Sniffer::observe(const mac::Frame& frame, Microseconds start,
+                      double sinr_db, bool in_range) {
+  ++stats_.offered;
+
+  if (!in_range) {
+    ++stats_.missed_range;
+    return;
+  }
+
+  // Bit-error loss at our SINR (collisions appear here too: overlapping
+  // frames depress the SINR the channel hands us).
+  const double p_ok =
+      phy::frame_success_probability(frame.rate, frame.size_bytes(), sinr_db);
+  if (!rng_.chance(p_ok)) {
+    ++stats_.missed_error;
+    return;
+  }
+
+  // Hardware overload: drop probability ramps up as this second's frame
+  // rate exceeds the card's capture capacity.
+  const std::int64_t second = start.count() / 1'000'000;
+  if (second != current_second_) {
+    current_second_ = second;
+    frames_this_second_ = 0;
+  }
+  ++frames_this_second_;
+  const double over =
+      (static_cast<double>(frames_this_second_) - config_.capacity_fps) /
+      config_.capacity_fps;
+  const double p_drop = std::clamp(over, 0.0, config_.max_overload_drop);
+  if (rng_.chance(p_drop)) {
+    ++stats_.missed_overload;
+    return;
+  }
+
+  const double measured_snr =
+      sinr_db + (config_.snr_jitter_db > 0
+                     ? rng_.normal(0.0, config_.snr_jitter_db)
+                     : 0.0);
+  records_.push_back(trace::record_from_frame(
+      frame, start, static_cast<float>(measured_snr), id_));
+  ++stats_.captured;
+}
+
+trace::Trace Sniffer::trace() const {
+  trace::Trace t;
+  t.records = records_;
+  // Records are appended at frame-end events; overlapping frames (capture
+  // effect, collisions) can therefore surface with starts out of order.
+  trace::sort_by_time(t.records);
+  if (!t.records.empty()) {
+    t.start_us = t.records.front().time_us;
+    t.end_us = t.records.back().time_us;
+  }
+  return t;
+}
+
+}  // namespace wlan::sim

@@ -1,0 +1,70 @@
+// Vicinity sniffer model (paper §4.2, §4.4).
+//
+// A passive RFMon radio pinned to one channel.  It misses frames for the
+// paper's three reasons:
+//   (1) bit errors  — drawn from the PHY error model at the sniffer's SINR,
+//   (2) hardware overload — capture probability degrades once the incoming
+//       frame rate exceeds the card's capacity (Yeo et al. effect),
+//   (3) hidden terminals / range — senders below receive sensitivity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mac/frame.hpp"
+#include "phy/propagation.hpp"
+#include "trace/record.hpp"
+#include "util/rng.hpp"
+
+namespace wlan::sim {
+
+struct SnifferConfig {
+  phy::Position position;
+  std::uint8_t channel = 1;
+  std::uint64_t seed = 7;
+  /// Frames/second the capture hardware sustains without loss.
+  double capacity_fps = 1500.0;
+  /// Ceiling on the overload drop probability.
+  double max_overload_drop = 0.35;
+  /// Std-dev of the RFMon SNR measurement jitter (dB).
+  double snr_jitter_db = 1.0;
+};
+
+struct SnifferStats {
+  std::uint64_t offered = 0;         ///< frames on the air on our channel
+  std::uint64_t captured = 0;
+  std::uint64_t missed_range = 0;    ///< hidden / out of range
+  std::uint64_t missed_error = 0;    ///< bit errors
+  std::uint64_t missed_overload = 0; ///< hardware drop under load
+};
+
+class Sniffer {
+ public:
+  Sniffer(const SnifferConfig& config, std::uint8_t id);
+
+  /// Called by the channel for every frame that finishes on the air.
+  void observe(const mac::Frame& frame, Microseconds start, double sinr_db,
+               bool in_range);
+
+  [[nodiscard]] phy::Position position() const { return config_.position; }
+  [[nodiscard]] std::uint8_t id() const { return id_; }
+  [[nodiscard]] const SnifferStats& stats() const { return stats_; }
+
+  /// The capture as a trace (records are already time-sorted).
+  [[nodiscard]] trace::Trace trace() const;
+
+  [[nodiscard]] const std::vector<trace::CaptureRecord>& records() const {
+    return records_;
+  }
+
+ private:
+  SnifferConfig config_;
+  std::uint8_t id_;
+  util::Rng rng_;
+  std::vector<trace::CaptureRecord> records_;
+  SnifferStats stats_;
+  std::int64_t current_second_ = -1;
+  std::uint64_t frames_this_second_ = 0;
+};
+
+}  // namespace wlan::sim

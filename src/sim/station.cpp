@@ -1,0 +1,282 @@
+#include "sim/station.hpp"
+
+#include <cassert>
+
+#include "phy/airtime.hpp"
+
+namespace wlan::sim {
+
+Station::Station(Channel& channel, mac::Addr address, const StationConfig& config)
+    : channel_(channel), addr_(address), config_(config),
+      rng_(config.seed ^ (0x5741ULL * address)), backoff_(channel.timing(), rng_) {
+  channel_.add_node(this);
+}
+
+rate::RateController& Station::controller_for(mac::Addr peer_addr) {
+  auto& slot = controllers_[peer_addr];
+  if (!slot) slot = rate::make_controller(config_.rate);
+  return *slot;
+}
+
+Station::~Station() = default;
+
+void Station::enqueue(Packet packet) {
+  if (!active_) {
+    if (packet.on_complete) packet.on_complete(false);
+    return;
+  }
+  if (queue_.size() >= config_.queue_limit) {
+    ++stats_.queue_drops;
+    if (packet.on_complete) packet.on_complete(false);
+    return;
+  }
+  packet.enqueued = channel_.simulator().now();
+  queue_.push_back(packet);
+  ++stats_.enqueued;
+  if (state_ == State::kIdle) start_contention();
+}
+
+void Station::shutdown() {
+  if (!active_) return;
+  active_ = false;
+  if (state_ == State::kContending) channel_.cancel_access(this);
+  if (response_timer_set_) {
+    channel_.simulator().cancel(response_timer_);
+    response_timer_set_ = false;
+  }
+  if (sifs_timer_set_) {
+    channel_.simulator().cancel(sifs_timer_);
+    sifs_timer_set_ = false;
+  }
+  // Flush the queue, failing any completion-clocked flows.
+  std::deque<Packet> drained;
+  drained.swap(queue_);
+  state_ = State::kIdle;
+  for (Packet& p : drained) {
+    if (p.on_complete) p.on_complete(false);
+  }
+}
+
+void Station::start_contention() {
+  assert(!queue_.empty());
+  state_ = State::kContending;
+  backoff_.draw();
+  channel_.request_access(this, backoff_.slots_remaining());
+}
+
+void Station::access_granted() {
+  if (!active_ || queue_.empty()) {
+    state_ = State::kIdle;
+    return;
+  }
+  transmit_head();
+}
+
+double Station::snr_hint(mac::Addr peer_addr) const {
+  const MacEntity* p = channel_.peer(peer_addr);
+  if (!p) return -200.0;
+  return channel_.snr_between(config_.position, p->position()) +
+         config_.tx_power_offset_db;
+}
+
+Microseconds Station::exchange_nav(std::uint32_t payload, phy::Rate r) const {
+  const auto& t = channel_.timing();
+  return t.sifs + t.cts_duration + t.sifs +
+         phy::data_airtime(payload, r) + t.sifs + t.ack_duration;
+}
+
+void Station::transmit_head() {
+  Packet& head = queue_.front();
+
+  if (head.dst == mac::kBroadcast) {
+    // Beacon/broadcast: no ACK, complete at end of air time.
+    mac::Frame f = mac::make_beacon(head.bssid != mac::kNoAddr ? head.bssid : addr_,
+                                    channel_.number());
+    channel_.transmit(this, f, [this] { finish_head(true); });
+    return;
+  }
+
+  if (head.type == mac::FrameType::kData) {
+    current_rate_ = controller_for(head.dst).rate_for_next(snr_hint(head.dst));
+  } else {
+    current_rate_ = phy::Rate::kR1;  // management at the basic rate
+  }
+
+  const bool with_rts = config_.use_rtscts &&
+                        head.type == mac::FrameType::kData &&
+                        head.payload >= config_.rts_threshold;
+  if (with_rts) {
+    mac::Frame rts = mac::make_rts(addr_, head.dst, head.bssid,
+                                   channel_.number(),
+                                   exchange_nav(head.payload, current_rate_));
+    ++stats_.rts_sent;
+    state_ = State::kWaitCts;
+    channel_.transmit(this, rts, [this] {
+      response_timer_ = channel_.simulator().in(
+          channel_.timing().cts_timeout(), [this] { on_cts_timeout(); });
+      response_timer_set_ = true;
+    });
+    return;
+  }
+  send_data_frame();
+}
+
+void Station::send_data_frame() {
+  Packet& head = queue_.front();
+  // First attempt of this PDU assigns its sequence number; retries reuse it.
+  if (attempt_ == 0) next_seq_ = static_cast<std::uint16_t>(next_seq_ + 1);
+
+  // Fragmentation: carve the next fragment out of the remaining payload.
+  fragment_bytes_ = head.payload;
+  if (config_.frag_threshold > 0 && head.type == mac::FrameType::kData &&
+      head.payload > config_.frag_threshold) {
+    fragment_bytes_ =
+        std::min(config_.frag_threshold, head.payload - frag_sent_);
+  }
+
+  mac::Frame f = mac::make_data(addr_, head.dst, head.bssid, next_seq_,
+                                fragment_bytes_, current_rate_,
+                                channel_.number());
+  f.type = head.type;  // data or management payload (assoc/disassoc)
+  f.retry = attempt_ > 0;
+  if (head.type == mac::FrameType::kData) ++stats_.tx_attempts;
+
+  state_ = State::kWaitAck;
+  channel_.transmit(this, f, [this] {
+    response_timer_ = channel_.simulator().in(channel_.timing().ack_timeout(),
+                                              [this] { on_ack_timeout(); });
+    response_timer_set_ = true;
+  });
+}
+
+void Station::on_receive(const mac::Frame& f, double snr_db) {
+  if (!active_) return;
+  const bool for_me = f.dst == addr_ || owns_addr(f.dst);
+
+  switch (f.type) {
+    case mac::FrameType::kCts:
+      if (for_me && state_ == State::kWaitCts) {
+        if (response_timer_set_) {
+          channel_.simulator().cancel(response_timer_);
+          response_timer_set_ = false;
+        }
+        sifs_timer_ = channel_.simulator().in(channel_.timing().sifs, [this] {
+          sifs_timer_set_ = false;
+          if (active_ && !queue_.empty()) send_data_frame();
+        });
+        sifs_timer_set_ = true;
+      }
+      return;
+
+    case mac::FrameType::kAck:
+      if (for_me && state_ == State::kWaitAck) {
+        if (response_timer_set_) {
+          channel_.simulator().cancel(response_timer_);
+          response_timer_set_ = false;
+        }
+        if (!queue_.empty()) controller_for(queue_.front().dst).on_success();
+        backoff_.reset();
+        // Fragment burst: more payload pending means the next fragment
+        // follows after SIFS, keeping the exchange atomic.
+        if (!queue_.empty() && config_.frag_threshold > 0 &&
+            queue_.front().type == mac::FrameType::kData &&
+            queue_.front().payload > config_.frag_threshold) {
+          frag_sent_ += fragment_bytes_;
+          if (frag_sent_ < queue_.front().payload) {
+            attempt_ = 0;
+            sifs_timer_ = channel_.simulator().in(
+                channel_.timing().sifs, [this] {
+                  sifs_timer_set_ = false;
+                  if (active_ && !queue_.empty()) send_data_frame();
+                });
+            sifs_timer_set_ = true;
+            return;
+          }
+        }
+        finish_head(true);
+      }
+      return;
+
+    case mac::FrameType::kRts:
+      if (for_me) {
+        // CTS response after SIFS, echoing the remaining NAV.
+        const mac::Frame cts = mac::make_cts(
+            f.dst, f.src, channel_.number(),
+            f.nav > channel_.timing().sifs + channel_.timing().cts_duration
+                ? f.nav - channel_.timing().sifs - channel_.timing().cts_duration
+                : Microseconds{0});
+        channel_.simulator().in(channel_.timing().sifs,
+                                [this, cts] { channel_.transmit(this, cts); });
+      }
+      return;
+
+    case mac::FrameType::kBeacon:
+      return;  // stations do not act on beacons in this model
+
+    default:
+      break;
+  }
+
+  // Data / management payloads addressed to us: ACK after SIFS, then hand to
+  // the payload hook.  The ACK is sent from the address the frame targeted
+  // (a virtual-AP BSSID when we are an AP).
+  if (for_me && f.dst != mac::kBroadcast) {
+    if (f.type == mac::FrameType::kData) ++stats_.rx_data;
+    const mac::Frame ack = mac::make_ack(f.dst, f.src, channel_.number());
+    channel_.simulator().in(channel_.timing().sifs,
+                            [this, ack] { channel_.transmit(this, ack); });
+    on_payload(f, snr_db);
+  }
+}
+
+void Station::on_payload(const mac::Frame& f, double) {
+  if (payload_handler_) payload_handler_(f);
+}
+
+void Station::on_cts_timeout() {
+  response_timer_set_ = false;
+  if (!active_ || state_ != State::kWaitCts) return;
+  ++stats_.cts_timeouts;
+  attempt_failed();
+}
+
+void Station::on_ack_timeout() {
+  response_timer_set_ = false;
+  if (!active_ || state_ != State::kWaitAck) return;
+  ++stats_.ack_timeouts;
+  attempt_failed();
+}
+
+void Station::attempt_failed() {
+  if (!queue_.empty()) controller_for(queue_.front().dst).on_failure();
+  ++attempt_;
+  const auto limit = channel_.timing().short_retry_limit;
+  if (attempt_ > limit) {
+    ++stats_.retry_drops;
+    backoff_.reset();
+    finish_head(false);
+    return;
+  }
+  backoff_.grow();
+  start_contention();
+}
+
+void Station::finish_head(bool delivered) {
+  if (queue_.empty()) {  // defensive: shutdown raced with completion
+    state_ = State::kIdle;
+    return;
+  }
+  const auto on_complete = std::move(queue_.front().on_complete);
+  queue_.pop_front();
+  attempt_ = 0;
+  frag_sent_ = 0;
+  if (delivered) ++stats_.delivered;
+  if (!queue_.empty()) {
+    start_contention();
+  } else {
+    state_ = State::kIdle;
+  }
+  if (on_complete) on_complete(delivered);
+}
+
+}  // namespace wlan::sim

@@ -1,0 +1,31 @@
+// Minimal pcap (+ radiotap) codec.
+//
+// The paper's sniffers wrote tethereal/libpcap captures; this environment
+// has no libpcap, so the classic pcap container (LINKTYPE_IEEE802_11_RADIOTAP)
+// is implemented from the public format specification.  The writer emits a
+// radiotap header carrying rate / channel / signal / noise (the RFMon fields
+// the paper relies on) followed by the 802.11 MAC header; the reader parses
+// exactly that subset back into CaptureRecords.
+//
+// Lossy by design, like a real capture: the simulator-only frame_id and the
+// sniffer id do not survive, and ACK/CTS frames carry no transmitter address
+// (the real frames have none), so `src` reads back as kNoAddr for them.
+#pragma once
+
+#include <string>
+
+#include "trace/record.hpp"
+
+namespace wlan::trace {
+
+/// LINKTYPE_IEEE802_11_RADIOTAP.
+inline constexpr std::uint32_t kPcapLinkType = 127;
+
+/// Writes `trace` as a pcap file; throws std::runtime_error on I/O error.
+void write_pcap(const Trace& trace, const std::string& path);
+
+/// Reads a pcap file produced by write_pcap (or any capture restricted to
+/// the radiotap subset above); throws on malformed input.
+Trace read_pcap(const std::string& path);
+
+}  // namespace wlan::trace

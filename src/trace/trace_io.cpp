@@ -1,0 +1,190 @@
+#include "trace/trace_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace wlan::trace {
+
+namespace {
+
+// Fixed on-disk record layout (little-endian, packed manually to avoid
+// relying on struct padding).
+constexpr std::size_t kRecordBytes = 8 + 1 + 1 + 4 + 1 + 2 + 2 + 2 + 2 + 1 + 4 + 1 + 8;
+
+template <typename T>
+void put(std::string& buf, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  char tmp[sizeof(T)];
+  std::memcpy(tmp, &v, sizeof(T));
+  buf.append(tmp, sizeof(T));
+}
+
+template <typename T>
+T get(const char*& p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  p += sizeof(T);
+  return v;
+}
+
+void encode(const CaptureRecord& r, std::string& buf) {
+  put<std::int64_t>(buf, r.time_us);
+  put<std::uint8_t>(buf, r.channel);
+  put<std::uint8_t>(buf, static_cast<std::uint8_t>(r.rate));
+  put<float>(buf, r.snr_db);
+  put<std::uint8_t>(buf, static_cast<std::uint8_t>(r.type));
+  put<std::uint16_t>(buf, r.src);
+  put<std::uint16_t>(buf, r.dst);
+  put<std::uint16_t>(buf, r.bssid);
+  put<std::uint16_t>(buf, r.seq);
+  put<std::uint8_t>(buf, r.retry ? 1 : 0);
+  put<std::uint32_t>(buf, r.size_bytes);
+  put<std::uint8_t>(buf, r.sniffer_id);
+  put<std::uint64_t>(buf, r.frame_id);
+}
+
+CaptureRecord decode(const char* p) {
+  CaptureRecord r;
+  r.time_us = get<std::int64_t>(p);
+  r.channel = get<std::uint8_t>(p);
+  r.rate = static_cast<phy::Rate>(get<std::uint8_t>(p));
+  r.snr_db = get<float>(p);
+  r.type = static_cast<mac::FrameType>(get<std::uint8_t>(p));
+  r.src = get<std::uint16_t>(p);
+  r.dst = get<std::uint16_t>(p);
+  r.bssid = get<std::uint16_t>(p);
+  r.seq = get<std::uint16_t>(p);
+  r.retry = get<std::uint8_t>(p) != 0;
+  r.size_bytes = get<std::uint32_t>(p);
+  r.sniffer_id = get<std::uint8_t>(p);
+  r.frame_id = get<std::uint64_t>(p);
+  return r;
+}
+
+}  // namespace
+
+void write_binary(const Trace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_binary: cannot open " + path);
+
+  std::string buf;
+  buf.reserve(32 + trace.records.size() * kRecordBytes);
+  put<std::uint32_t>(buf, kTraceMagic);
+  put<std::uint16_t>(buf, kTraceVersion);
+  put<std::uint16_t>(buf, 0);  // reserved
+  put<std::int64_t>(buf, trace.start_us);
+  put<std::int64_t>(buf, trace.end_us);
+  put<std::uint64_t>(buf, trace.records.size());
+  for (const auto& r : trace.records) encode(r, buf);
+
+  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  if (!out) throw std::runtime_error("write_binary: short write to " + path);
+}
+
+Trace read_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_binary: cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string buf = ss.str();
+  if (buf.size() < 32) throw std::runtime_error("read_binary: truncated header");
+
+  const char* p = buf.data();
+  if (get<std::uint32_t>(p) != kTraceMagic) {
+    throw std::runtime_error("read_binary: bad magic in " + path);
+  }
+  if (get<std::uint16_t>(p) != kTraceVersion) {
+    throw std::runtime_error("read_binary: unsupported version in " + path);
+  }
+  get<std::uint16_t>(p);  // reserved
+  Trace trace;
+  trace.start_us = get<std::int64_t>(p);
+  trace.end_us = get<std::int64_t>(p);
+  const auto count = get<std::uint64_t>(p);
+  if (buf.size() < 32 + count * kRecordBytes) {
+    throw std::runtime_error("read_binary: truncated records in " + path);
+  }
+  trace.records.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    trace.records.push_back(decode(buf.data() + 32 + i * kRecordBytes));
+  }
+  return trace;
+}
+
+void write_csv(const Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_csv: cannot open " + path);
+  out << "time_us,channel,rate,snr_db,type,src,dst,bssid,seq,retry,size_bytes,"
+         "sniffer_id,frame_id\n";
+  for (const auto& r : trace.records) {
+    out << r.time_us << ',' << int{r.channel} << ',' << phy::rate_name(r.rate)
+        << ',' << r.snr_db << ',' << mac::frame_type_name(r.type) << ','
+        << r.src << ',' << r.dst << ',' << r.bssid << ',' << r.seq << ','
+        << (r.retry ? 1 : 0) << ',' << r.size_bytes << ','
+        << int{r.sniffer_id} << ',' << r.frame_id << '\n';
+  }
+  if (!out) throw std::runtime_error("write_csv: short write to " + path);
+}
+
+namespace {
+
+mac::FrameType parse_type(const std::string& name) {
+  using mac::FrameType;
+  if (name == "DATA") return FrameType::kData;
+  if (name == "ACK") return FrameType::kAck;
+  if (name == "RTS") return FrameType::kRts;
+  if (name == "CTS") return FrameType::kCts;
+  if (name == "BEACON") return FrameType::kBeacon;
+  if (name == "ASSOC-REQ") return FrameType::kAssocReq;
+  if (name == "ASSOC-RESP") return FrameType::kAssocResp;
+  if (name == "DISASSOC") return FrameType::kDisassoc;
+  throw std::runtime_error("read_csv: unknown frame type " + name);
+}
+
+}  // namespace
+
+Trace read_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_csv: cannot open " + path);
+  Trace trace;
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("read_csv: empty file " + path);
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string cell;
+    std::vector<std::string> cells;
+    while (std::getline(row, cell, ',')) cells.push_back(cell);
+    if (cells.size() != 13) {
+      throw std::runtime_error("read_csv: malformed row: " + line);
+    }
+    CaptureRecord r;
+    r.time_us = std::stoll(cells[0]);
+    r.channel = static_cast<std::uint8_t>(std::stoi(cells[1]));
+    const auto rate = phy::parse_rate(cells[2]);
+    if (!rate) throw std::runtime_error("read_csv: bad rate " + cells[2]);
+    r.rate = *rate;
+    r.snr_db = std::stof(cells[3]);
+    r.type = parse_type(cells[4]);
+    r.src = static_cast<mac::Addr>(std::stoul(cells[5]));
+    r.dst = static_cast<mac::Addr>(std::stoul(cells[6]));
+    r.bssid = static_cast<mac::Addr>(std::stoul(cells[7]));
+    r.seq = static_cast<std::uint16_t>(std::stoul(cells[8]));
+    r.retry = cells[9] == "1";
+    r.size_bytes = static_cast<std::uint32_t>(std::stoul(cells[10]));
+    r.sniffer_id = static_cast<std::uint8_t>(std::stoi(cells[11]));
+    r.frame_id = std::stoull(cells[12]);
+    trace.records.push_back(r);
+  }
+  if (!trace.records.empty()) {
+    trace.start_us = trace.records.front().time_us;
+    trace.end_us = trace.records.back().time_us;
+  }
+  return trace;
+}
+
+}  // namespace wlan::trace

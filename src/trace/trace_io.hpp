@@ -1,0 +1,29 @@
+// Binary + CSV trace persistence.
+//
+// The binary format is a fixed little-endian layout with a magic/version
+// header, so traces written by the benches can be re-analyzed by the
+// examples/trace_tool binary without re-simulating.
+#pragma once
+
+#include <string>
+
+#include "trace/record.hpp"
+
+namespace wlan::trace {
+
+inline constexpr std::uint32_t kTraceMagic = 0x574C4E54;  // "WLNT"
+inline constexpr std::uint16_t kTraceVersion = 1;
+
+/// Writes the trace; throws std::runtime_error on I/O failure.
+void write_binary(const Trace& trace, const std::string& path);
+
+/// Reads a trace written by write_binary; throws on bad magic/version/EOF.
+Trace read_binary(const std::string& path);
+
+/// Human-readable CSV (one row per record, header included).
+void write_csv(const Trace& trace, const std::string& path);
+
+/// Parses the CSV produced by write_csv; throws on malformed rows.
+Trace read_csv(const std::string& path);
+
+}  // namespace wlan::trace

@@ -1,0 +1,139 @@
+#include "util/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace wlan::util {
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.4g", v);
+  return buf;
+}
+
+std::string line_chart(const std::string& title, const std::vector<double>& xs,
+                       const std::vector<Series>& series, int width,
+                       int height) {
+  std::ostringstream out;
+  out << "== " << title << " ==\n";
+  if (xs.empty() || series.empty()) {
+    out << "(no data)\n";
+    return out.str();
+  }
+
+  double ymin = 0.0, ymax = 0.0;
+  bool first = true;
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < s.ys.size() && i < xs.size(); ++i) {
+      if (!std::isfinite(s.ys[i])) continue;
+      if (first) {
+        ymin = ymax = s.ys[i];
+        first = false;
+      } else {
+        ymin = std::min(ymin, s.ys[i]);
+        ymax = std::max(ymax, s.ys[i]);
+      }
+    }
+  }
+  if (first) {
+    out << "(no finite data)\n";
+    return out.str();
+  }
+  if (ymax == ymin) ymax = ymin + 1.0;
+  // Anchor at zero when the data is non-negative; matches paper figures.
+  if (ymin > 0 && ymin < 0.3 * ymax) ymin = 0;
+
+  const double xmin = xs.front();
+  const double xmax = xs.back() == xs.front() ? xs.front() + 1 : xs.back();
+
+  static constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '#', '@'};
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char g = kGlyphs[si % sizeof kGlyphs];
+    const auto& ys = series[si].ys;
+    for (std::size_t i = 0; i < ys.size() && i < xs.size(); ++i) {
+      if (!std::isfinite(ys[i])) continue;
+      const int cx = static_cast<int>(std::lround(
+          (xs[i] - xmin) / (xmax - xmin) * (width - 1)));
+      const int cy = static_cast<int>(std::lround(
+          (ys[i] - ymin) / (ymax - ymin) * (height - 1)));
+      if (cx >= 0 && cx < width && cy >= 0 && cy < height) {
+        grid[static_cast<std::size_t>(height - 1 - cy)]
+            [static_cast<std::size_t>(cx)] = g;
+      }
+    }
+  }
+
+  char label[32];
+  for (int r = 0; r < height; ++r) {
+    const double yv = ymax - (ymax - ymin) * r / (height - 1);
+    std::snprintf(label, sizeof label, "%9.3g |", yv);
+    out << label << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  out << std::string(10, ' ') << '+' << std::string(static_cast<std::size_t>(width), '-')
+      << '\n';
+  std::snprintf(label, sizeof label, "%-9.4g", xmin);
+  out << std::string(11, ' ') << label;
+  const int pad = width - 18 > 0 ? width - 18 : 1;
+  std::snprintf(label, sizeof label, "%9.4g", xmax);
+  out << std::string(static_cast<std::size_t>(pad), ' ') << label << '\n';
+  out << "  legend:";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    out << "  " << kGlyphs[si % sizeof kGlyphs] << " = " << series[si].name;
+  }
+  out << '\n';
+  return out.str();
+}
+
+std::string bar_chart(const std::string& title,
+                      const std::vector<std::string>& labels,
+                      const std::vector<double>& values, int width) {
+  std::ostringstream out;
+  out << "== " << title << " ==\n";
+  const std::size_t n = std::min(labels.size(), values.size());
+  double vmax = 0;
+  for (std::size_t i = 0; i < n; ++i) vmax = std::max(vmax, values[i]);
+  if (vmax <= 0) vmax = 1;
+  std::size_t lw = 0;
+  for (std::size_t i = 0; i < n; ++i) lw = std::max(lw, labels[i].size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const int bar = static_cast<int>(std::lround(values[i] / vmax * width));
+    out << "  " << labels[i] << std::string(lw - labels[i].size(), ' ') << " |"
+        << std::string(static_cast<std::size_t>(std::max(bar, 0)), '#') << ' '
+        << fmt(values[i]) << '\n';
+  }
+  return out.str();
+}
+
+std::string text_table(const std::vector<std::vector<std::string>>& rows) {
+  std::ostringstream out;
+  if (rows.empty()) return "";
+  std::vector<std::size_t> widths;
+  for (const auto& row : rows) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    out << "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : "";
+      out << ' ' << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    out << '\n';
+  };
+  emit_row(rows[0]);
+  out << "|";
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << "|";
+  }
+  out << '\n';
+  for (std::size_t r = 1; r < rows.size(); ++r) emit_row(rows[r]);
+  return out.str();
+}
+
+}  // namespace wlan::util

@@ -1,0 +1,33 @@
+// ASCII rendering of figure series, so every bench binary reproduces the
+// paper's figures directly on stdout ("same rows/series the paper reports").
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wlan::util {
+
+/// One named series for a line chart (x shared across series).
+struct Series {
+  std::string name;
+  std::vector<double> ys;
+};
+
+/// Renders series as a fixed-size character grid with axis labels.
+/// `xs` supplies the x ticks; series are overlaid with distinct glyphs.
+std::string line_chart(const std::string& title, const std::vector<double>& xs,
+                       const std::vector<Series>& series, int width = 72,
+                       int height = 20);
+
+/// Renders a horizontal bar chart (used for histograms / per-AP ranks).
+std::string bar_chart(const std::string& title,
+                      const std::vector<std::string>& labels,
+                      const std::vector<double>& values, int width = 60);
+
+/// Fixed-width text table: first row is the header.
+std::string text_table(const std::vector<std::vector<std::string>>& rows);
+
+/// Formats a double compactly ("%.4g") for table cells.
+std::string fmt(double v);
+
+}  // namespace wlan::util

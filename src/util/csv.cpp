@@ -1,0 +1,55 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace wlan::util {
+
+std::string csv_escape(std::string_view cell) {
+  if (cell.find_first_of(",\"\n") == std::string_view::npos) {
+    return std::string{cell};
+  }
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : path_(path), out_(path), columns_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << csv_escape(header[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<double>& cells) {
+  if (cells.size() != columns_) {
+    throw std::runtime_error("CsvWriter: row width mismatch in " + path_);
+  }
+  char buf[32];
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    std::snprintf(buf, sizeof buf, "%.6g", cells[i]);
+    out_ << buf;
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row_strings(const std::vector<std::string>& cells) {
+  if (cells.size() != columns_) {
+    throw std::runtime_error("CsvWriter: row width mismatch in " + path_);
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << csv_escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace wlan::util

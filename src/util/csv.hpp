@@ -1,0 +1,34 @@
+// Small CSV writer used by benches to dump figure series next to the
+// human-readable tables (so results can be re-plotted).
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wlan::util {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// Throws std::runtime_error when the file cannot be created.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  /// Appends one row; cells are formatted with %.6g semantics for doubles.
+  void row(const std::vector<double>& cells);
+  void row_strings(const std::vector<std::string>& cells);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+/// Quote a CSV cell if it contains separators/quotes.
+std::string csv_escape(std::string_view cell);
+
+}  // namespace wlan::util

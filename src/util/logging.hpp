@@ -1,0 +1,21 @@
+// Minimal leveled logger.  Simulation code logs through this so benches can
+// silence it; no global iostream state is touched.
+#pragma once
+
+#include <cstdio>
+#include <string_view>
+
+namespace wlan::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are dropped.  Not thread-local:
+/// the simulator is single-threaded by design.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging.  Usage: logf(LogLevel::kInfo, "ap %d up", id);
+void logf(LogLevel level, const char* format, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace wlan::util

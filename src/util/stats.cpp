@@ -1,0 +1,118 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wlan::util {
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+void Accumulator::merge(const Accumulator& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n = static_cast<double>(n_ + other.n_);
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) / n;
+  mean_ = (mean_ * static_cast<double>(n_) +
+           other.mean_ * static_cast<double>(other.n_)) /
+          n;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  if (bins == 0 || !(hi > lo)) {
+    throw std::invalid_argument("Histogram: need bins > 0 and hi > lo");
+  }
+}
+
+void Histogram::add(double x, std::uint64_t weight) {
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width_);
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
+}
+
+std::uint64_t Histogram::bin_count(std::size_t i) const { return counts_.at(i); }
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i) + width_; }
+double Histogram::bin_center(std::size_t i) const {
+  return bin_lo(i) + width_ / 2;
+}
+
+std::optional<double> Histogram::mode() const {
+  if (total_ == 0) return std::nullopt;
+  const auto it = std::max_element(counts_.begin(), counts_.end());
+  return bin_center(static_cast<std::size_t>(it - counts_.begin()));
+}
+
+double QuantileSketch::quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+LinearFit fit_line(const std::vector<double>& xs, const std::vector<double>& ys) {
+  LinearFit fit;
+  const std::size_t n = std::min(xs.size(), ys.size());
+  if (n < 2) return fit;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const auto dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (denom == 0.0) return fit;
+  fit.slope = (dn * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / dn;
+  const double sst = syy - sy * sy / dn;
+  if (sst > 0) {
+    const double ssr = fit.slope * (sxy - sx * sy / dn);
+    fit.r2 = ssr / sst;
+  }
+  return fit;
+}
+
+}  // namespace wlan::util

@@ -1,0 +1,92 @@
+// Streaming statistics and histogram utilities shared by the analysis layer
+// and the benches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace wlan::util {
+
+/// Welford streaming accumulator: mean / variance / min / max without
+/// storing samples.
+class Accumulator {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;  ///< population variance
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Merge another accumulator (parallel reduction).
+  void merge(const Accumulator& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width-bin histogram over [lo, hi); out-of-range samples clamp into
+/// the first/last bin.  Used e.g. for the Figure 5(c) utilization histogram.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, std::uint64_t weight = 1);
+
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin_count(std::size_t i) const;
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+  [[nodiscard]] double bin_center(std::size_t i) const;
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+  /// Center of the bin with the highest count (the distribution's mode);
+  /// nullopt when empty.
+  [[nodiscard]] std::optional<double> mode() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Exact quantiles over stored samples.  Keep for modest sample counts
+/// (analysis works on per-second aggregates, so thousands, not millions).
+class QuantileSketch {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+
+  /// q in [0,1]; linear interpolation between order statistics.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Least-squares slope/intercept — used by tests to assert trends
+/// ("throughput falls past the knee").
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;
+};
+
+LinearFit fit_line(const std::vector<double>& xs, const std::vector<double>& ys);
+
+}  // namespace wlan::util

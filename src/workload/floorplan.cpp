@@ -1,0 +1,145 @@
+#include "workload/floorplan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace wlan::workload {
+
+namespace {
+
+constexpr double kFeet = 0.3048;  // metres per foot
+
+std::vector<Room> venue_rooms(SessionKind kind) {
+  std::vector<Room> rooms;
+  // Top row: conference rooms A, B, C (71', 71', 68' wide; 39' deep).
+  rooms.push_back({"A", 0.0, 0.0, 71 * kFeet, 39 * kFeet, 0});
+  rooms.push_back({"B", 71 * kFeet, 0.0, 71 * kFeet, 39 * kFeet, 0});
+  rooms.push_back({"C", 142 * kFeet, 0.0, 68 * kFeet, 39 * kFeet, 0});
+  // Foyer strip between the rooms and the ballrooms.
+  rooms.push_back({"Foyer", 0.0, 39 * kFeet, 210 * kFeet, 20 * kFeet, 0});
+  const double by = 59 * kFeet;
+  if (kind == SessionKind::kDay) {
+    // Ballrooms D, E, F, G (roughly equal widths, 61' deep).
+    rooms.push_back({"D", 0.0, by, 52 * kFeet, 61 * kFeet, 0});
+    rooms.push_back({"E", 52 * kFeet, by, 53 * kFeet, 61 * kFeet, 0});
+    rooms.push_back({"F", 105 * kFeet, by, 53 * kFeet, 61 * kFeet, 0});
+    rooms.push_back({"G", 158 * kFeet, by, 52 * kFeet, 61 * kFeet, 0});
+  } else {
+    // Plenary: temporary walls removed -> one large ballroom.
+    rooms.push_back({"Ballroom", 0.0, by, 210 * kFeet, 61 * kFeet, 0});
+  }
+  return rooms;
+}
+
+}  // namespace
+
+phy::Position random_position_in(const Room& room, util::Rng& rng) {
+  return phy::Position{rng.uniform_real(room.x + 0.5, room.x + room.w - 0.5),
+                       rng.uniform_real(room.y + 0.5, room.y + room.h - 0.5),
+                       room.floor};
+}
+
+FloorPlan ietf_floorplan(SessionKind kind, int num_main_aps,
+                         int num_other_aps) {
+  FloorPlan plan;
+  plan.kind = kind;
+  plan.rooms = venue_rooms(kind);
+
+  static constexpr std::uint8_t kChannels[3] = {1, 6, 11};
+  int ch = 0;
+
+  // Main floor: APs on a grid covering the whole venue footprint.
+  const double venue_w = 210 * kFeet;
+  const double venue_h = 120 * kFeet;
+  const int cols = std::max(1, static_cast<int>(std::lround(
+                                   std::sqrt(num_main_aps * venue_w / venue_h))));
+  const int rows = std::max(1, (num_main_aps + cols - 1) / cols);
+  int placed = 0;
+  for (int r = 0; r < rows && placed < num_main_aps; ++r) {
+    for (int c = 0; c < cols && placed < num_main_aps; ++c) {
+      ApPlacement ap;
+      ap.position = {venue_w * (c + 0.5) / cols, venue_h * (r + 0.5) / rows, 0};
+      ap.channel = kChannels[ch++ % 3];
+      plan.aps.push_back(ap);
+      ++placed;
+    }
+  }
+
+  // Adjacent floors: split the remainder between floor -1 and +1.
+  for (int i = 0; i < num_other_aps; ++i) {
+    ApPlacement ap;
+    const int floor = i % 2 == 0 ? 1 : -1;
+    ap.position = {venue_w * ((i / 2) + 0.5) / std::max(1, (num_other_aps + 1) / 2),
+                   venue_h * 0.5, floor};
+    ap.channel = kChannels[ch++ % 3];
+    plan.aps.push_back(ap);
+  }
+
+  // Sniffer placement (paper Figures 2-3): day = three spots spread through
+  // the monitored ballroom E; plenary = co-located at one point.
+  if (kind == SessionKind::kDay) {
+    const auto it = std::find_if(plan.rooms.begin(), plan.rooms.end(),
+                                 [](const Room& r) { return r.name == "E"; });
+    const Room& room = *it;
+    plan.monitored_room = static_cast<std::size_t>(it - plan.rooms.begin());
+    plan.sniffers = {
+        {room.x + room.w * 0.2, room.y + room.h * 0.25, 0},
+        {room.x + room.w * 0.8, room.y + room.h * 0.25, 0},
+        {room.x + room.w * 0.5, room.y + room.h * 0.8, 0},
+    };
+  } else {
+    const auto it = std::find_if(plan.rooms.begin(), plan.rooms.end(),
+                                 [](const Room& r) { return r.name == "Ballroom"; });
+    const Room& room = *it;
+    plan.monitored_room = static_cast<std::size_t>(it - plan.rooms.begin());
+    const phy::Position spot{room.x + room.w * 0.5, room.y + room.h * 0.6, 0};
+    plan.sniffers = {spot, spot, spot};
+  }
+  return plan;
+}
+
+std::string render_ascii(const FloorPlan& plan, int width) {
+  const double venue_w = 210 * kFeet;
+  const double venue_h = 120 * kFeet;
+  const int height = static_cast<int>(std::lround(width * venue_h / venue_w * 0.5));
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+
+  auto plot = [&](double x, double y, char glyph) {
+    const int cx = std::clamp(
+        static_cast<int>(std::lround(x / venue_w * (width - 1))), 0, width - 1);
+    const int cy = std::clamp(
+        static_cast<int>(std::lround(y / venue_h * (height - 1))), 0, height - 1);
+    grid[static_cast<std::size_t>(cy)][static_cast<std::size_t>(cx)] = glyph;
+  };
+
+  for (const Room& room : plan.rooms) {
+    if (room.floor != 0) continue;
+    // Outline the room borders.
+    const int steps = 40;
+    for (int i = 0; i <= steps; ++i) {
+      const double fx = room.x + room.w * i / steps;
+      const double fy = room.y + room.h * i / steps;
+      plot(fx, room.y, '-');
+      plot(fx, room.y + room.h, '-');
+      plot(room.x, fy, '|');
+      plot(room.x + room.w, fy, '|');
+    }
+    plot(room.x + room.w / 2, room.y + room.h / 2, room.name[0]);
+  }
+  for (const ApPlacement& ap : plan.aps) {
+    if (ap.position.floor != 0) continue;
+    plot(ap.position.x, ap.position.y, 'o');
+  }
+  for (const phy::Position& s : plan.sniffers) plot(s.x, s.y, 'S');
+
+  std::ostringstream out;
+  out << (plan.kind == SessionKind::kDay
+              ? "Day session floor plan (o = AP, S = sniffer)\n"
+              : "Plenary session floor plan (o = AP, S = sniffer)\n");
+  for (const auto& row : grid) out << row << '\n';
+  return out.str();
+}
+
+}  // namespace wlan::workload

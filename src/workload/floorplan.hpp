@@ -1,0 +1,57 @@
+// IETF62 venue geometry (paper Figures 2 and 3).
+//
+// The figures give a row of conference rooms (A: 71', B: 71', C: 68' wide,
+// 39' deep), a foyer, and ballrooms D,E,F,G (61' deep) below.  For the
+// plenary the temporary walls between D/E/F/G were removed, forming one
+// large ballroom.  Dimensions are converted to metres.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "phy/propagation.hpp"
+#include "util/rng.hpp"
+
+namespace wlan::workload {
+
+struct Room {
+  std::string name;
+  double x = 0.0;  ///< left edge, metres
+  double y = 0.0;  ///< top edge, metres
+  double w = 0.0;
+  double h = 0.0;
+  int floor = 0;
+};
+
+struct ApPlacement {
+  phy::Position position;
+  std::uint8_t channel = 1;
+};
+
+enum class SessionKind { kDay, kPlenary };
+
+struct FloorPlan {
+  SessionKind kind = SessionKind::kDay;
+  std::vector<Room> rooms;
+  std::vector<ApPlacement> aps;
+  std::vector<phy::Position> sniffers;  ///< one per channel 1/6/11
+
+  /// Index into rooms of the room the sniffers monitor.
+  std::size_t monitored_room = 0;
+};
+
+/// Builds the venue with `num_main_aps` APs on the conference floor and
+/// `num_other_aps` split across the two adjacent floors, channels assigned
+/// round-robin over 1/6/11 (the "fairly well distributed" observable).
+FloorPlan ietf_floorplan(SessionKind kind, int num_main_aps = 23,
+                         int num_other_aps = 15);
+
+/// Uniform random position within a room.
+phy::Position random_position_in(const Room& room, util::Rng& rng);
+
+/// ASCII rendering of the plan (rooms, AP marks, sniffer marks) used by the
+/// Figure 2/3 bench.
+std::string render_ascii(const FloorPlan& plan, int width = 78);
+
+}  // namespace wlan::workload

@@ -1,0 +1,70 @@
+#include "workload/traffic.hpp"
+
+namespace wlan::workload {
+
+TrafficProfile conference_profile() {
+  TrafficProfile p;
+  // Mostly TCP-borne traffic: clock sends off completions so offered load
+  // adapts to channel state, as the IETF attendees' transports did.
+  p.closed_loop = true;
+  p.window = 1;
+  return p;
+}
+
+TrafficProfile voice_profile() {
+  TrafficProfile p;
+  p.name = "voice";
+  p.mean_pps = 25.0;
+  p.uplink_fraction = 0.5;
+  p.size_weights = {0.95, 0.05, 0.0, 0.0};
+  p.on_fraction = 0.4;
+  p.mean_on_seconds = 30.0;
+  return p;
+}
+
+TrafficProfile web_profile() {
+  TrafficProfile p;
+  p.name = "web";
+  p.mean_pps = 8.0;
+  p.uplink_fraction = 0.25;
+  p.size_weights = {0.35, 0.2, 0.1, 0.35};
+  p.on_fraction = 0.35;
+  p.mean_on_seconds = 5.0;
+  return p;
+}
+
+TrafficProfile bulk_profile() {
+  TrafficProfile p;
+  p.name = "bulk";
+  p.mean_pps = 30.0;
+  p.uplink_fraction = 0.15;
+  p.size_weights = {0.1, 0.05, 0.05, 0.8};
+  p.on_fraction = 0.9;
+  p.mean_on_seconds = 20.0;
+  return p;
+}
+
+std::uint32_t sample_payload(const TrafficProfile& profile, util::Rng& rng) {
+  double total = 0.0;
+  for (double w : profile.size_weights) total += w;
+  double pick = rng.uniform01() * total;
+  std::size_t cls = 0;
+  for (; cls < 3; ++cls) {
+    if (pick < profile.size_weights[cls]) break;
+    pick -= profile.size_weights[cls];
+  }
+  switch (cls) {
+    case 0:  // Small: TCP acks, voice payloads — skew low.
+      return static_cast<std::uint32_t>(rng.uniform_int(40, kSmallMax));
+    case 1:
+      return static_cast<std::uint32_t>(rng.uniform_int(kSmallMax + 1, kMediumMax));
+    case 2:
+      return static_cast<std::uint32_t>(rng.uniform_int(kMediumMax + 1, kLargeMax));
+    default:  // XL: mostly full MTU segments.
+      return rng.chance(0.7)
+                 ? kXlMax
+                 : static_cast<std::uint32_t>(rng.uniform_int(kLargeMax + 1, kXlMax));
+  }
+}
+
+}  // namespace wlan::workload

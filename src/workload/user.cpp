@@ -1,0 +1,229 @@
+#include "workload/user.hpp"
+
+#include <algorithm>
+
+#include "phy/error_model.hpp"
+
+namespace wlan::workload {
+
+using wlan::sim::Packet;
+
+UserSession::UserSession(sim::Network& net, const UserSpec& spec,
+                         std::uint64_t seed)
+    : net_(net), spec_(spec), rng_(seed) {
+  net_.simulator().at(spec_.join, [this] { join(); });
+  if (spec_.leave != Microseconds::never()) {
+    net_.simulator().at(spec_.leave, [this] { depart(); });
+  }
+}
+
+void UserSession::join() {
+  if (departed_) return;
+  const auto choice = net_.choose_ap(spec_.position);
+  if (!choice.ap) {
+    net_.simulator().in(sec(1), [this] { join(); });
+    return;
+  }
+  ap_ = choice.ap;
+  vap_ = choice.vap;
+
+  sim::StationConfig cfg;
+  cfg.position = spec_.position;
+  cfg.use_rtscts = spec_.use_rtscts;
+  cfg.rate = spec_.rate;
+  cfg.seed = rng_.next();
+  if (spec_.auto_power_margin_db >= 0.0) {
+    // Transmit power control: boost until 11 Mbps clears its SNR threshold
+    // with the requested margin (paper §7's suggested remedy).
+    const double snr = net_.propagation().snr_db(spec_.position,
+                                                 ap_->position());
+    const double needed = phy::required_snr_db(phy::Rate::kR11, 1024, 0.9) +
+                          spec_.auto_power_margin_db;
+    cfg.tx_power_offset_db =
+        std::clamp(needed - snr, 0.0, spec_.max_power_boost_db);
+  }
+  station_ = &net_.add_station(choice.channel, cfg);
+  station_->set_payload_handler(
+      [this](const mac::Frame& f) { on_station_payload(f); });
+  associate();
+}
+
+void UserSession::associate() {
+  if (departed_ || associated_) return;
+  ++assoc_attempts_;
+  Packet req;
+  req.dst = vap_;
+  req.type = mac::FrameType::kAssocReq;
+  req.bssid = vap_;
+  station_->enqueue(req);
+  // Re-try a lost handshake; after several attempts proceed anyway so a
+  // congested join cannot wedge the session forever.
+  net_.simulator().in(msec(500), [this] {
+    if (departed_ || associated_) return;
+    if (assoc_attempts_ < 5) {
+      associate();
+    } else {
+      associated_ = true;
+      start_traffic();
+    }
+  });
+}
+
+void UserSession::on_station_payload(const mac::Frame& f) {
+  if (f.type == mac::FrameType::kAssocResp && !associated_) {
+    associated_ = true;
+    start_traffic();
+  }
+  // Downlink data needs no action: reception statistics live in the trace.
+}
+
+void UserSession::start_traffic() {
+  if (departed_) return;
+  if (spec_.profile.closed_loop) {
+    for (std::uint32_t w = 0; w < spec_.profile.window; ++w) {
+      launch_flow(true);
+      launch_flow(false);
+    }
+    return;
+  }
+  if (spec_.profile.on_fraction >= 1.0) {
+    on_ = true;
+    schedule_next_packet();
+  } else {
+    toggle_onoff(rng_.chance(spec_.profile.on_fraction));
+  }
+}
+
+void UserSession::launch_flow(bool uplink) {
+  if (departed_) return;
+  const double share = uplink ? spec_.profile.uplink_fraction
+                              : 1.0 - spec_.profile.uplink_fraction;
+  if (share <= 0.0) return;
+  const double think_s = rng_.exponential(1.0 / (spec_.profile.mean_pps * share));
+  net_.simulator().in(Microseconds{static_cast<std::int64_t>(think_s * 1e6)},
+                      [this, uplink] { send_closed_loop(uplink); });
+}
+
+void UserSession::send_closed_loop(bool uplink) {
+  if (departed_) return;
+  Packet p;
+  p.payload = sample_payload(spec_.profile, rng_);
+  p.type = mac::FrameType::kData;
+  p.bssid = vap_;
+  p.on_complete = [this, uplink](bool) { launch_flow(uplink); };
+  if (uplink) {
+    p.dst = vap_;
+    station_->enqueue(p);
+  } else {
+    p.dst = station_->addr();
+    ap_->enqueue(p);
+  }
+}
+
+void UserSession::toggle_onoff(bool now_on) {
+  if (departed_) return;
+  on_ = now_on;
+  ++packet_epoch_;
+  const double f = std::clamp(spec_.profile.on_fraction, 0.01, 0.99);
+  const double mean_on = spec_.profile.mean_on_seconds;
+  const double mean_off = mean_on * (1.0 - f) / f;
+  const double hold_s = rng_.exponential(now_on ? mean_on : mean_off);
+  net_.simulator().in(Microseconds{static_cast<std::int64_t>(hold_s * 1e6)},
+                      [this, now_on] { toggle_onoff(!now_on); });
+  if (on_) schedule_next_packet();
+}
+
+void UserSession::schedule_next_packet() {
+  if (departed_ || !on_ || !associated_) return;
+  const double gap_s = rng_.exponential(1.0 / spec_.profile.mean_pps);
+  const std::uint64_t epoch = packet_epoch_;
+  net_.simulator().in(Microseconds{static_cast<std::int64_t>(gap_s * 1e6)},
+                      [this, epoch] {
+                        if (epoch == packet_epoch_) emit_packet();
+                      });
+}
+
+void UserSession::emit_packet() {
+  if (departed_ || !on_ || !associated_) return;
+  const std::uint32_t payload = sample_payload(spec_.profile, rng_);
+  Packet p;
+  p.payload = payload;
+  p.type = mac::FrameType::kData;
+  p.bssid = vap_;
+  if (rng_.chance(spec_.profile.uplink_fraction)) {
+    p.dst = vap_;
+    station_->enqueue(p);
+  } else {
+    p.dst = station_->addr();
+    ap_->enqueue(p);
+  }
+  schedule_next_packet();
+}
+
+void UserSession::depart() {
+  if (departed_ || !station_) {
+    departed_ = true;
+    return;
+  }
+  departed_ = true;
+  Packet bye;
+  bye.dst = vap_;
+  bye.type = mac::FrameType::kDisassoc;
+  bye.bssid = vap_;
+  station_->enqueue(bye);
+  // Give the disassoc a moment on the air, then power the radio off.
+  net_.simulator().in(msec(100), [this] {
+    if (station_) station_->shutdown();
+  });
+}
+
+UserManager::UserManager(sim::Network& net, UserManagerConfig config,
+                         PopulationCurve curve, Microseconds horizon)
+    : net_(net), config_(std::move(config)), curve_(std::move(curve)),
+      horizon_(horizon), rng_(net.rng().next()) {
+  tick();
+}
+
+std::size_t UserManager::live() const {
+  return static_cast<std::size_t>(
+      std::count_if(sessions_.begin(), sessions_.end(),
+                    [](const auto& s) { return !s->departed(); }));
+}
+
+void UserManager::tick() {
+  const Microseconds now = net_.simulator().now();
+  if (now > horizon_) return;
+
+  const auto desired =
+      static_cast<std::size_t>(std::max(0.0, curve_(now.seconds())));
+  const std::size_t current = live();
+
+  if (desired > current) {
+    for (std::size_t i = current; i < desired; ++i) {
+      UserSpec spec;
+      spec.position = config_.placement
+                          ? config_.placement(rng_)
+                          : phy::Position{rng_.uniform_real(0, 30),
+                                          rng_.uniform_real(0, 30), 0};
+      spec.join = now;
+      spec.profile = config_.profile;
+      spec.use_rtscts = rng_.chance(config_.rtscts_fraction);
+      spec.rate = config_.rate;
+      sessions_.push_back(
+          std::make_unique<UserSession>(net_, spec, rng_.next()));
+    }
+  } else if (desired < current) {
+    std::size_t to_remove = current - desired;
+    for (auto& s : sessions_) {
+      if (to_remove == 0) break;
+      if (!s->departed()) {
+        s->depart();
+        --to_remove;
+      }
+    }
+  }
+
+  net_.simulator().in(config_.tick, [this] { tick(); });
+}
+
+}  // namespace wlan::workload

@@ -1,0 +1,111 @@
+// User sessions and population dynamics.
+//
+// A UserSession is one conference attendee: a client station that joins at
+// some time, associates with the best AP (strongest signal, least-loaded
+// virtual AP — the Airespace load-balancing observable), generates two-way
+// traffic while present, and disassociates on departure.
+//
+// The UserManager spawns/retires sessions so the instantaneous population
+// tracks a target curve — this is what produces the Figure 4(b) user-count
+// time series and the Figure 5(a/b) utilization dynamics.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "workload/traffic.hpp"
+
+namespace wlan::workload {
+
+struct UserSpec {
+  phy::Position position;
+  Microseconds join{0};
+  Microseconds leave = Microseconds::never();
+  TrafficProfile profile;
+  bool use_rtscts = false;
+  rate::ControllerConfig rate;
+  /// Transmit power control (§7's alternative remedy): when >= 0, the
+  /// client raises its transmit power so the uplink supports 11 Mbps with
+  /// this much margin (dB), up to `max_power_boost_db`.
+  double auto_power_margin_db = -1.0;
+  double max_power_boost_db = 12.0;
+};
+
+class UserSession {
+ public:
+  UserSession(sim::Network& net, const UserSpec& spec, std::uint64_t seed);
+
+  UserSession(const UserSession&) = delete;
+  UserSession& operator=(const UserSession&) = delete;
+
+  [[nodiscard]] bool associated() const { return associated_; }
+  [[nodiscard]] bool departed() const { return departed_; }
+  [[nodiscard]] const sim::Station* station() const { return station_; }
+
+  /// Disassociates and shuts the station down (called by the UserManager
+  /// when the population curve demands departures).
+  void depart();
+
+ private:
+  void join();
+  void associate();
+  void on_station_payload(const mac::Frame& frame);
+  void start_traffic();
+  void schedule_next_packet();
+  void emit_packet();
+  void toggle_onoff(bool now_on);
+  /// Closed-loop clocking: send one packet in the given direction and
+  /// re-arm on completion.
+  void launch_flow(bool uplink);
+  void send_closed_loop(bool uplink);
+
+  sim::Network& net_;
+  UserSpec spec_;
+  util::Rng rng_;
+  sim::Station* station_ = nullptr;       // owned by the Network
+  sim::AccessPoint* ap_ = nullptr;
+  mac::Addr vap_ = mac::kNoAddr;
+  bool associated_ = false;
+  bool on_ = false;
+  bool departed_ = false;
+  int assoc_attempts_ = 0;
+  /// Guards against duplicate packet chains across ON/OFF toggles.
+  std::uint64_t packet_epoch_ = 0;
+};
+
+/// Target population curve: simulated seconds -> desired user count.
+using PopulationCurve = std::function<double(double)>;
+
+struct UserManagerConfig {
+  TrafficProfile profile;
+  /// Fraction of users that enable RTS/CTS (paper: a small minority).
+  double rtscts_fraction = 0.03;
+  rate::ControllerConfig rate;
+  /// Sampling interval for tracking the population curve.
+  Microseconds tick{1'000'000};
+  /// Position generator for new arrivals.
+  std::function<phy::Position(util::Rng&)> placement;
+};
+
+class UserManager {
+ public:
+  UserManager(sim::Network& net, UserManagerConfig config,
+              PopulationCurve curve, Microseconds horizon);
+
+  [[nodiscard]] std::size_t spawned() const { return sessions_.size(); }
+  [[nodiscard]] std::size_t live() const;
+
+ private:
+  void tick();
+
+  sim::Network& net_;
+  UserManagerConfig config_;
+  PopulationCurve curve_;
+  Microseconds horizon_;
+  util::Rng rng_;
+  std::vector<std::unique_ptr<UserSession>> sessions_;
+};
+
+}  // namespace wlan::workload

@@ -1,0 +1,302 @@
+// TraceAnalyzer on hand-built synthetic captures: every quantity checked
+// against a pencil-and-paper computation of the paper's equations.
+#include "core/analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wlan::core {
+namespace {
+
+trace::CaptureRecord make_record(std::int64_t t, mac::FrameType type,
+                                 mac::Addr src, mac::Addr dst,
+                                 std::uint32_t size, phy::Rate rate,
+                                 std::uint16_t seq = 0, bool retry = false) {
+  trace::CaptureRecord r;
+  r.time_us = t;
+  r.type = type;
+  r.src = src;
+  r.dst = dst;
+  r.bssid = 100;
+  r.size_bytes = size;
+  r.rate = rate;
+  r.seq = seq;
+  r.retry = retry;
+  return r;
+}
+
+trace::Trace one_second_trace(std::vector<trace::CaptureRecord> records) {
+  trace::Trace t;
+  t.records = std::move(records);
+  t.start_us = 0;
+  t.end_us = 999'999;
+  return t;
+}
+
+TEST(AnalyzerTest, EmptyTraceYieldsEmptyResult) {
+  const TraceAnalyzer analyzer;
+  const auto result = analyzer.analyze(trace::Trace{});
+  EXPECT_TRUE(result.seconds.empty());
+  EXPECT_EQ(result.total_frames, 0u);
+}
+
+TEST(AnalyzerTest, SingleDataFrameCbtMatchesEquation2) {
+  const TraceAnalyzer analyzer;
+  const auto result = analyzer.analyze(one_second_trace(
+      {make_record(1000, mac::FrameType::kData, 1, 2, 1034, phy::Rate::kR1)}));
+  ASSERT_EQ(result.seconds.size(), 1u);
+  // CBT = DIFS + PLCP + 8*1034 = 50 + 192 + 8272.
+  EXPECT_DOUBLE_EQ(result.seconds[0].cbt_us, 50 + 192 + 8272);
+  EXPECT_NEAR(result.seconds[0].utilization(), (50 + 192 + 8272) / 1e4, 1e-9);
+}
+
+TEST(AnalyzerTest, UtilizationEquation8OnFullSecond) {
+  // 70 data frames of 1034 B at 1 Mbps: 70 * 8514 us = 0.596 s busy.
+  std::vector<trace::CaptureRecord> records;
+  for (int i = 0; i < 70; ++i) {
+    records.push_back(make_record(i * 14'000, mac::FrameType::kData, 1, 2,
+                                  1034, phy::Rate::kR1,
+                                  static_cast<std::uint16_t>(i)));
+  }
+  const TraceAnalyzer analyzer;
+  const auto result = analyzer.analyze(one_second_trace(std::move(records)));
+  ASSERT_EQ(result.seconds.size(), 1u);
+  EXPECT_NEAR(result.seconds[0].utilization(), 70 * 8514 / 1e4, 1e-6);
+}
+
+TEST(AnalyzerTest, UtilizationClampedAt100) {
+  std::vector<trace::CaptureRecord> records;
+  for (int i = 0; i < 200; ++i) {
+    records.push_back(make_record(i * 4000, mac::FrameType::kData, 1, 2, 1034,
+                                  phy::Rate::kR1,
+                                  static_cast<std::uint16_t>(i)));
+  }
+  const TraceAnalyzer analyzer;
+  const auto result = analyzer.analyze(one_second_trace(std::move(records)));
+  EXPECT_DOUBLE_EQ(result.seconds[0].utilization(), 100.0);
+}
+
+TEST(AnalyzerTest, AckedDataCountsTowardGoodput) {
+  const auto data =
+      make_record(0, mac::FrameType::kData, 1, 2, 1034, phy::Rate::kR11, 5);
+  // Data ends at 192 + ceil(8*1034/11) = 944; ACK shortly after.
+  const auto ack =
+      make_record(954, mac::FrameType::kAck, 2, 1, 14, phy::Rate::kR1);
+  const TraceAnalyzer analyzer;
+  const auto result = analyzer.analyze(one_second_trace({data, ack}));
+  const auto& s = result.seconds[0];
+  EXPECT_EQ(s.bits_all, (1034u + 14u) * 8);
+  EXPECT_EQ(s.bits_good, (1034u + 14u) * 8);  // acked data + control
+  EXPECT_EQ(s.acked_by_rate[phy::rate_index(phy::Rate::kR11)], 1u);
+  EXPECT_EQ(s.first_attempt_acked[phy::rate_index(phy::Rate::kR11)], 1u);
+}
+
+TEST(AnalyzerTest, UnackedDataExcludedFromGoodput) {
+  const auto data =
+      make_record(0, mac::FrameType::kData, 1, 2, 1034, phy::Rate::kR11, 5);
+  const TraceAnalyzer analyzer;
+  const auto result = analyzer.analyze(one_second_trace({data}));
+  const auto& s = result.seconds[0];
+  EXPECT_EQ(s.bits_all, 1034u * 8);
+  EXPECT_EQ(s.bits_good, 0u);
+  EXPECT_EQ(s.acked_by_rate[phy::rate_index(phy::Rate::kR11)], 0u);
+}
+
+TEST(AnalyzerTest, AckForDifferentStationDoesNotMatch) {
+  const auto data =
+      make_record(0, mac::FrameType::kData, 1, 2, 1034, phy::Rate::kR11, 5);
+  const auto ack =
+      make_record(954, mac::FrameType::kAck, 2, 7, 14, phy::Rate::kR1);
+  const TraceAnalyzer analyzer;
+  const auto result = analyzer.analyze(one_second_trace({data, ack}));
+  EXPECT_EQ(result.seconds[0].acked_by_rate[3], 0u);
+}
+
+TEST(AnalyzerTest, LateAckDoesNotMatch) {
+  const auto data =
+      make_record(0, mac::FrameType::kData, 1, 2, 1034, phy::Rate::kR11, 5);
+  const auto ack =
+      make_record(5000, mac::FrameType::kAck, 2, 1, 14, phy::Rate::kR1);
+  const TraceAnalyzer analyzer;
+  const auto result = analyzer.analyze(one_second_trace({data, ack}));
+  EXPECT_EQ(result.seconds[0].acked_by_rate[3], 0u);
+}
+
+TEST(AnalyzerTest, RetryNotCountedAsFirstAttempt) {
+  const auto data = make_record(0, mac::FrameType::kData, 1, 2, 1034,
+                                phy::Rate::kR11, 5, /*retry=*/true);
+  const auto ack =
+      make_record(954, mac::FrameType::kAck, 2, 1, 14, phy::Rate::kR1);
+  const TraceAnalyzer analyzer;
+  const auto result = analyzer.analyze(one_second_trace({data, ack}));
+  const auto& s = result.seconds[0];
+  EXPECT_EQ(s.acked_by_rate[3], 1u);
+  EXPECT_EQ(s.first_attempt_acked[3], 0u);
+  EXPECT_EQ(s.retries_by_rate[3], 1u);
+}
+
+TEST(AnalyzerTest, AcceptanceDelaySpansRetries) {
+  // First attempt at t=0 (no ACK), retry at t=20000 ACKed: the acceptance
+  // delay runs from the FIRST transmission to the recorded ACK.
+  const auto first =
+      make_record(0, mac::FrameType::kData, 1, 2, 1034, phy::Rate::kR11, 5);
+  const auto retry = make_record(20'000, mac::FrameType::kData, 1, 2, 1034,
+                                 phy::Rate::kR11, 5, true);
+  const auto ack =
+      make_record(20'954, mac::FrameType::kAck, 2, 1, 14, phy::Rate::kR1);
+  const TraceAnalyzer analyzer;
+  const auto result = analyzer.analyze(one_second_trace({first, retry, ack}));
+  ASSERT_EQ(result.acceptance.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.acceptance[0].delay_us, 20'954.0);
+  EXPECT_EQ(result.acceptance[0].category,
+            category_index(SizeClass::kL, phy::Rate::kR11));
+}
+
+TEST(AnalyzerTest, FrameCategoriesCounted) {
+  const auto small =
+      make_record(0, mac::FrameType::kData, 1, 2, 100, phy::Rate::kR1, 1);
+  const auto xl =
+      make_record(100'000, mac::FrameType::kData, 1, 2, 1500, phy::Rate::kR11, 2);
+  const TraceAnalyzer analyzer;
+  const auto result = analyzer.analyze(one_second_trace({small, xl}));
+  const auto& s = result.seconds[0];
+  EXPECT_EQ(s.tx_by_category[category_index(SizeClass::kS, phy::Rate::kR1)], 1u);
+  EXPECT_EQ(s.tx_by_category[category_index(SizeClass::kXL, phy::Rate::kR11)], 1u);
+}
+
+TEST(AnalyzerTest, ControlFrameCountsAndRtsSenders) {
+  const auto rts =
+      make_record(0, mac::FrameType::kRts, 1, 2, 20, phy::Rate::kR1);
+  const auto cts =
+      make_record(400, mac::FrameType::kCts, 2, 1, 14, phy::Rate::kR1);
+  const auto beacon =
+      make_record(1000, mac::FrameType::kBeacon, 9, mac::kBroadcast, 90,
+                  phy::Rate::kR1);
+  const TraceAnalyzer analyzer;
+  const auto result = analyzer.analyze(one_second_trace({rts, cts, beacon}));
+  const auto& s = result.seconds[0];
+  EXPECT_EQ(s.rts, 1u);
+  EXPECT_EQ(s.cts, 1u);
+  EXPECT_EQ(s.beacon, 1u);
+  ASSERT_TRUE(result.senders.count(1));
+  EXPECT_TRUE(result.senders.at(1).uses_rtscts);
+}
+
+TEST(AnalyzerTest, PerRateBusyTimeSplit) {
+  const auto slow =
+      make_record(0, mac::FrameType::kData, 1, 2, 1034, phy::Rate::kR1, 1);
+  const auto fast =
+      make_record(500'000, mac::FrameType::kData, 1, 2, 1034, phy::Rate::kR11, 2);
+  const TraceAnalyzer analyzer;
+  const auto result = analyzer.analyze(one_second_trace({slow, fast}));
+  const auto& s = result.seconds[0];
+  EXPECT_DOUBLE_EQ(s.cbt_us_by_rate[phy::rate_index(phy::Rate::kR1)],
+                   50 + 192 + 8272);
+  EXPECT_DOUBLE_EQ(s.cbt_us_by_rate[phy::rate_index(phy::Rate::kR11)],
+                   50 + 192 + 752);
+  EXPECT_EQ(s.bytes_by_rate[phy::rate_index(phy::Rate::kR1)], 1034u);
+  EXPECT_EQ(s.bytes_by_rate[phy::rate_index(phy::Rate::kR11)], 1034u);
+}
+
+TEST(AnalyzerTest, MultiSecondBucketing) {
+  std::vector<trace::CaptureRecord> records;
+  records.push_back(
+      make_record(500'000, mac::FrameType::kData, 1, 2, 500, phy::Rate::kR11, 1));
+  records.push_back(make_record(2'500'000, mac::FrameType::kData, 1, 2, 500,
+                                phy::Rate::kR11, 2));
+  trace::Trace t;
+  t.records = std::move(records);
+  t.start_us = 0;
+  t.end_us = 2'999'999;
+  const TraceAnalyzer analyzer;
+  const auto result = analyzer.analyze(t);
+  ASSERT_EQ(result.seconds.size(), 3u);
+  EXPECT_EQ(result.seconds[0].data, 1u);
+  EXPECT_EQ(result.seconds[1].data, 0u);
+  EXPECT_EQ(result.seconds[2].data, 1u);
+}
+
+TEST(AnalyzerTest, UnsortedTraceThrows) {
+  const TraceAnalyzer analyzer;
+  trace::Trace t = one_second_trace(
+      {make_record(900'000, mac::FrameType::kData, 1, 2, 500, phy::Rate::kR11, 1),
+       make_record(100, mac::FrameType::kData, 1, 2, 500, phy::Rate::kR11, 2)});
+  EXPECT_THROW(analyzer.analyze(t), std::invalid_argument);
+}
+
+TEST(AnalyzerTest, SenderDeliveryBookkeeping) {
+  const auto d1 =
+      make_record(0, mac::FrameType::kData, 1, 2, 500, phy::Rate::kR11, 1);
+  const auto a1 =
+      make_record(600, mac::FrameType::kAck, 2, 1, 14, phy::Rate::kR1);
+  const auto d2 =
+      make_record(100'000, mac::FrameType::kData, 1, 2, 500, phy::Rate::kR11, 2);
+  const TraceAnalyzer analyzer;
+  const auto result = analyzer.analyze(one_second_trace({d1, a1, d2}));
+  const auto& sender = result.senders.at(1);
+  EXPECT_EQ(sender.data_tx, 2u);
+  EXPECT_EQ(sender.data_acked, 1u);
+  EXPECT_FALSE(sender.uses_rtscts);
+}
+
+
+TEST(AnalyzerTest, RecordAtExactSecondBoundaryBucketsForward) {
+  trace::Trace t;
+  t.records = {make_record(1'000'000, mac::FrameType::kData, 1, 2, 500,
+                           phy::Rate::kR11, 1)};
+  t.start_us = 0;
+  t.end_us = 1'999'999;
+  const TraceAnalyzer analyzer;
+  const auto result = analyzer.analyze(t);
+  ASSERT_EQ(result.seconds.size(), 2u);
+  EXPECT_EQ(result.seconds[0].data, 0u);
+  EXPECT_EQ(result.seconds[1].data, 1u);
+}
+
+TEST(AnalyzerTest, TraceBoundsExtendBeyondRecords) {
+  // Quiet tails still produce (empty) seconds: the paper's time series
+  // include idle intervals.
+  trace::Trace t;
+  t.records = {make_record(100, mac::FrameType::kData, 1, 2, 500,
+                           phy::Rate::kR11, 1)};
+  t.start_us = 0;
+  t.end_us = 4'999'999;
+  const TraceAnalyzer analyzer;
+  const auto result = analyzer.analyze(t);
+  ASSERT_EQ(result.seconds.size(), 5u);
+  for (std::size_t i = 1; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(result.seconds[i].utilization(), 0.0);
+  }
+}
+
+TEST(AnalyzerTest, SlightClockJitterTolerated) {
+  // Merged multi-sniffer captures can interleave within a few microseconds;
+  // the sorted-input guard must not fire on <= 10 us inversions.
+  trace::Trace t;
+  t.records = {make_record(1000, mac::FrameType::kData, 1, 2, 500,
+                           phy::Rate::kR11, 1),
+               make_record(995, mac::FrameType::kData, 3, 2, 500,
+                           phy::Rate::kR11, 1)};
+  t.start_us = 0;
+  t.end_us = 999'999;
+  const TraceAnalyzer analyzer;
+  EXPECT_NO_THROW(analyzer.analyze(t));
+}
+
+TEST(AnalyzerTest, DuplicateAckOnlyMatchesOnce) {
+  // A retransmitted ACK (or a sniffer double-capture) must not double-count
+  // goodput for the same data frame.
+  const auto data =
+      make_record(0, mac::FrameType::kData, 1, 2, 1034, phy::Rate::kR11, 5);
+  const auto ack1 =
+      make_record(954, mac::FrameType::kAck, 2, 1, 14, phy::Rate::kR1);
+  const auto ack2 =
+      make_record(1300, mac::FrameType::kAck, 2, 1, 14, phy::Rate::kR1);
+  const TraceAnalyzer analyzer;
+  const auto result = analyzer.analyze(one_second_trace({data, ack1, ack2}));
+  EXPECT_EQ(result.seconds[0].acked_by_rate[phy::rate_index(phy::Rate::kR11)],
+            1u);
+  EXPECT_EQ(result.acceptance.size(), 1u);
+}
+
+}  // namespace
+}  // namespace wlan::core

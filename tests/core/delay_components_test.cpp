@@ -1,0 +1,103 @@
+#include "core/delay_components.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wlan::core {
+namespace {
+
+trace::CaptureRecord record_of(mac::FrameType type, std::uint32_t size,
+                               phy::Rate rate) {
+  trace::CaptureRecord r;
+  r.type = type;
+  r.size_bytes = size;
+  r.rate = rate;
+  return r;
+}
+
+TEST(DelayComponentsTest, Table2Values) {
+  const auto d = DelayComponents::paper();
+  EXPECT_EQ(d.difs.count(), 50);
+  EXPECT_EQ(d.sifs.count(), 10);
+  EXPECT_EQ(d.rts.count(), 352);
+  EXPECT_EQ(d.cts.count(), 304);
+  EXPECT_EQ(d.ack.count(), 304);
+  EXPECT_EQ(d.beacon.count(), 304);
+  EXPECT_EQ(d.bo.count(), 0);  // saturated-network assumption
+  EXPECT_EQ(d.plcp.count(), 192);
+}
+
+TEST(DelayComponentsTest, DataDurationFormula) {
+  const auto d = DelayComponents::paper();
+  // D_PLCP + 8*(34+size)/rate, exact at 1 and 2 Mbps.
+  EXPECT_EQ(d.data_duration_payload(100, phy::Rate::kR1).count(),
+            192 + 8 * 134);
+  EXPECT_EQ(d.data_duration_payload(100, phy::Rate::kR2).count(),
+            192 + 4 * 134);
+  // Total-size variant excludes the +34.
+  EXPECT_EQ(d.data_duration_total(134, phy::Rate::kR1).count(), 192 + 8 * 134);
+}
+
+TEST(DelayComponentsTest, Equation2DataCbt) {
+  const auto d = DelayComponents::paper();
+  const auto r = record_of(mac::FrameType::kData, 1034, phy::Rate::kR1);
+  // CBT_DATA = D_DIFS + D_DATA.
+  EXPECT_EQ(d.cbt(r).count(), 50 + 192 + 8 * 1034);
+}
+
+TEST(DelayComponentsTest, Equation3RtsCbt) {
+  const auto d = DelayComponents::paper();
+  // CBT_RTS = D_RTS only (the DIFS is charged to the data frame).
+  EXPECT_EQ(d.cbt(record_of(mac::FrameType::kRts, 20, phy::Rate::kR1)).count(),
+            352);
+}
+
+TEST(DelayComponentsTest, Equation4CtsCbt) {
+  const auto d = DelayComponents::paper();
+  EXPECT_EQ(d.cbt(record_of(mac::FrameType::kCts, 14, phy::Rate::kR1)).count(),
+            10 + 304);
+}
+
+TEST(DelayComponentsTest, Equation5AckCbt) {
+  const auto d = DelayComponents::paper();
+  EXPECT_EQ(d.cbt(record_of(mac::FrameType::kAck, 14, phy::Rate::kR1)).count(),
+            10 + 304);
+}
+
+TEST(DelayComponentsTest, Equation6BeaconCbt) {
+  const auto d = DelayComponents::paper();
+  EXPECT_EQ(
+      d.cbt(record_of(mac::FrameType::kBeacon, 90, phy::Rate::kR1)).count(),
+      50 + 304);
+}
+
+TEST(DelayComponentsTest, ManagementFramesChargedAsData) {
+  const auto d = DelayComponents::paper();
+  const auto assoc = record_of(mac::FrameType::kAssocReq, 40, phy::Rate::kR1);
+  EXPECT_EQ(d.cbt(assoc).count(), 50 + 192 + 8 * 40);
+}
+
+TEST(DelayComponentsTest, CbtScalesInverselyWithRate) {
+  const auto d = DelayComponents::paper();
+  const auto slow = d.cbt(record_of(mac::FrameType::kData, 1506, phy::Rate::kR1));
+  const auto fast = d.cbt(record_of(mac::FrameType::kData, 1506, phy::Rate::kR11));
+  EXPECT_GT(slow.count(), 4 * fast.count());
+}
+
+class CbtSweep : public ::testing::TestWithParam<phy::Rate> {};
+
+TEST_P(CbtSweep, LargerFramesCostMoreBusyTime) {
+  const auto d = DelayComponents::paper();
+  Microseconds prev{0};
+  for (std::uint32_t size : {100u, 400u, 800u, 1200u, 1506u}) {
+    const auto cbt = d.cbt(record_of(mac::FrameType::kData, size, GetParam()));
+    EXPECT_GT(cbt, prev);
+    prev = cbt;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRates, CbtSweep,
+                         ::testing::ValuesIn(phy::kAllRates.begin(),
+                                             phy::kAllRates.end()));
+
+}  // namespace
+}  // namespace wlan::core

@@ -1,0 +1,143 @@
+#include "core/unrecorded.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wlan::core {
+namespace {
+
+constexpr mac::Addr kAp = 100;   // appears as BSSID
+constexpr mac::Addr kSta = 7;
+
+trace::CaptureRecord rec(std::int64_t t, mac::FrameType type, mac::Addr src,
+                         mac::Addr dst, mac::Addr bssid = mac::kNoAddr) {
+  trace::CaptureRecord r;
+  r.time_us = t;
+  r.type = type;
+  r.src = src;
+  r.dst = dst;
+  r.bssid = bssid;
+  r.size_bytes = type == mac::FrameType::kData ? 534 : 14;
+  r.rate = phy::Rate::kR11;
+  return r;
+}
+
+trace::Trace as_trace(std::vector<trace::CaptureRecord> records) {
+  trace::Trace t;
+  t.records = std::move(records);
+  if (!t.records.empty()) {
+    t.start_us = t.records.front().time_us;
+    t.end_us = t.records.back().time_us;
+  }
+  return t;
+}
+
+TEST(UnrecordedTest, CompleteExchangeHasNoMisses) {
+  const auto report = estimate_unrecorded(as_trace({
+      rec(0, mac::FrameType::kData, kSta, kAp, kAp),
+      rec(600, mac::FrameType::kAck, kAp, kSta),
+  }));
+  EXPECT_EQ(report.totals.missed(), 0u);
+  EXPECT_DOUBLE_EQ(report.totals.unrecorded_pct(), 0.0);
+}
+
+TEST(UnrecordedTest, OrphanAckImpliesMissedData) {
+  const auto report = estimate_unrecorded(as_trace({
+      rec(0, mac::FrameType::kData, kSta, kAp, kAp),  // establishes BSSID
+      rec(600, mac::FrameType::kAck, kAp, kSta),
+      rec(100'000, mac::FrameType::kAck, kAp, kSta),  // no DATA before it
+  }));
+  EXPECT_EQ(report.totals.missed_data, 1u);
+}
+
+TEST(UnrecordedTest, AckAfterWrongSenderCountsAsMiss) {
+  const auto report = estimate_unrecorded(as_trace({
+      rec(0, mac::FrameType::kData, 9, kAp, kAp),
+      rec(600, mac::FrameType::kAck, kAp, kSta),  // acknowledges kSta, not 9
+  }));
+  EXPECT_EQ(report.totals.missed_data, 1u);
+}
+
+TEST(UnrecordedTest, OrphanCtsImpliesMissedRts) {
+  const auto report = estimate_unrecorded(as_trace({
+      rec(0, mac::FrameType::kCts, kAp, kSta),
+  }));
+  EXPECT_EQ(report.totals.missed_rts, 1u);
+}
+
+TEST(UnrecordedTest, RtsThenCtsIsComplete) {
+  const auto report = estimate_unrecorded(as_trace({
+      rec(0, mac::FrameType::kRts, kSta, kAp),
+      rec(362, mac::FrameType::kCts, kAp, kSta),
+  }));
+  EXPECT_EQ(report.totals.missed_rts, 0u);
+}
+
+TEST(UnrecordedTest, RtsDataWithoutCtsImpliesMissedCts) {
+  const auto report = estimate_unrecorded(as_trace({
+      rec(0, mac::FrameType::kRts, kSta, kAp),
+      rec(700, mac::FrameType::kData, kSta, kAp, kAp),
+      rec(1400, mac::FrameType::kAck, kAp, kSta),
+  }));
+  EXPECT_EQ(report.totals.missed_cts, 1u);
+}
+
+TEST(UnrecordedTest, RtsCtsDataSequenceComplete) {
+  const auto report = estimate_unrecorded(as_trace({
+      rec(0, mac::FrameType::kRts, kSta, kAp),
+      rec(362, mac::FrameType::kCts, kAp, kSta),
+      rec(700, mac::FrameType::kData, kSta, kAp, kAp),
+      rec(1400, mac::FrameType::kAck, kAp, kSta),
+  }));
+  EXPECT_EQ(report.totals.missed(), 0u);
+}
+
+TEST(UnrecordedTest, Equation1Percentage) {
+  // 3 captured frames, 1 inferred miss: 1 / (1 + 3) = 25%.
+  const auto report = estimate_unrecorded(as_trace({
+      rec(0, mac::FrameType::kData, kSta, kAp, kAp),
+      rec(600, mac::FrameType::kAck, kAp, kSta),
+      rec(100'000, mac::FrameType::kAck, kAp, kSta),
+  }));
+  EXPECT_EQ(report.totals.captured, 3u);
+  EXPECT_DOUBLE_EQ(report.totals.unrecorded_pct(), 25.0);
+}
+
+TEST(UnrecordedTest, MissAttributedToApOfSender) {
+  // The orphan ACK is addressed to kSta, whose BSSID is learned from the
+  // initial data frame; the miss lands on kAp's tally.
+  const auto report = estimate_unrecorded(as_trace({
+      rec(0, mac::FrameType::kData, kSta, kAp, kAp),
+      rec(600, mac::FrameType::kAck, kAp, kSta),
+      rec(100'000, mac::FrameType::kAck, kAp, kSta),
+  }));
+  ASSERT_FALSE(report.per_ap.empty());
+  EXPECT_EQ(report.per_ap[0].bssid, kAp);
+  EXPECT_EQ(report.per_ap[0].missed, 1u);
+  EXPECT_GT(report.per_ap[0].captured, 0u);
+}
+
+TEST(UnrecordedTest, PerApRankingByActivity) {
+  std::vector<trace::CaptureRecord> records;
+  // AP 100 carries 10 frames, AP 200 carries 2.
+  for (int i = 0; i < 10; ++i) {
+    records.push_back(rec(i * 10'000, mac::FrameType::kData, kSta, 100, 100));
+  }
+  for (int i = 0; i < 2; ++i) {
+    records.push_back(
+        rec(200'000 + i * 10'000, mac::FrameType::kData, 8, 200, 200));
+  }
+  const auto report = estimate_unrecorded(as_trace(std::move(records)));
+  ASSERT_EQ(report.per_ap.size(), 2u);
+  EXPECT_EQ(report.per_ap[0].bssid, 100);
+  EXPECT_GT(report.per_ap[0].captured, report.per_ap[1].captured);
+}
+
+TEST(UnrecordedTest, EmptyTraceSafe) {
+  const auto report = estimate_unrecorded(trace::Trace{});
+  EXPECT_EQ(report.totals.missed(), 0u);
+  EXPECT_DOUBLE_EQ(report.totals.unrecorded_pct(), 0.0);
+  EXPECT_TRUE(report.per_ap.empty());
+}
+
+}  // namespace
+}  // namespace wlan::core

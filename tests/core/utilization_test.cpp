@@ -1,0 +1,89 @@
+#include "core/utilization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wlan::core {
+namespace {
+
+AnalysisResult synthetic_result(std::vector<double> utils) {
+  AnalysisResult result;
+  for (std::size_t i = 0; i < utils.size(); ++i) {
+    SecondStats s;
+    s.second = static_cast<std::int64_t>(i);
+    s.cbt_us = utils[i] * 1e4;  // percent -> us per second
+    result.seconds.push_back(s);
+  }
+  return result;
+}
+
+TEST(UtilizationSeriesTest, MatchesPerSecondValues) {
+  const auto result = synthetic_result({10, 55, 90});
+  const auto series = utilization_series(result);
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_NEAR(series[0], 10.0, 1e-9);
+  EXPECT_NEAR(series[1], 55.0, 1e-9);
+  EXPECT_NEAR(series[2], 90.0, 1e-9);
+}
+
+TEST(UtilizationHistogramTest, CountsSecondsPerPercent) {
+  const auto result = synthetic_result({55.4, 55.2, 55.4, 86.0});
+  const auto hist = utilization_histogram(result);
+  EXPECT_EQ(hist.total(), 4u);
+  ASSERT_TRUE(hist.mode().has_value());
+  EXPECT_NEAR(*hist.mode(), 55.5, 0.51);
+}
+
+TEST(UtilizationBinnerTest, MeanPerBin) {
+  UtilizationBinner binner;
+  binner.add(50.2, 10.0);
+  binner.add(49.8, 20.0);  // both round to bin 50
+  EXPECT_DOUBLE_EQ(binner.mean(50), 15.0);
+  EXPECT_EQ(binner.count(50), 2u);
+}
+
+TEST(UtilizationBinnerTest, MinCountFiltersSparseBins) {
+  UtilizationBinner binner;
+  binner.add(60.0, 5.0);
+  EXPECT_TRUE(std::isnan(binner.mean(60, 2)));
+  binner.add(60.0, 7.0);
+  EXPECT_DOUBLE_EQ(binner.mean(60, 2), 6.0);
+}
+
+TEST(UtilizationBinnerTest, EmptyBinIsNan) {
+  UtilizationBinner binner;
+  EXPECT_TRUE(std::isnan(binner.mean(42)));
+  EXPECT_EQ(binner.count(42), 0u);
+}
+
+TEST(UtilizationBinnerTest, OutOfRangeInputsClamp) {
+  UtilizationBinner binner;
+  binner.add(-5.0, 1.0);
+  binner.add(250.0, 2.0);
+  EXPECT_EQ(binner.count(0), 1u);
+  EXPECT_EQ(binner.count(100), 1u);
+  EXPECT_TRUE(std::isnan(binner.mean(101)));
+  EXPECT_TRUE(std::isnan(binner.mean(-1)));
+}
+
+TEST(UtilizationBinnerTest, NonFiniteValuesIgnored) {
+  UtilizationBinner binner;
+  binner.add(50.0, std::nan(""));
+  EXPECT_EQ(binner.count(50), 0u);
+}
+
+TEST(UtilizationBinnerTest, SeriesAndAxisAligned) {
+  UtilizationBinner binner;
+  binner.add(32.0, 4.0);
+  const auto xs = UtilizationBinner::axis(30, 35);
+  const auto ys = binner.series(30, 35);
+  ASSERT_EQ(xs.size(), 6u);
+  ASSERT_EQ(ys.size(), 6u);
+  EXPECT_DOUBLE_EQ(xs[2], 32.0);
+  EXPECT_DOUBLE_EQ(ys[2], 4.0);
+  EXPECT_TRUE(std::isnan(ys[0]));
+}
+
+}  // namespace
+}  // namespace wlan::core

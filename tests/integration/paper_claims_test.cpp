@@ -1,0 +1,252 @@
+// The paper's headline observations, asserted against the reproduction.
+//
+// Each test runs a compact version of the bench sweep (shared across tests
+// via a suite-level fixture to keep the suite fast) and checks the *shape*
+// claims of §5-§6: knee-and-decline throughput, 1 Mbps airtime inflation,
+// 11 Mbps byte dominance, scarce middle rates, rate-beats-size acceptance
+// delay, and the ARF-vs-SNR ablation of §7.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/analyzer.hpp"
+#include "core/report.hpp"
+#include "core/utilization.hpp"
+#include "workload/scenario.hpp"
+
+namespace wlan {
+namespace {
+
+workload::CellConfig sweep_cell(std::uint64_t seed, int users, double far,
+                                double pps, int window) {
+  workload::CellConfig cell;
+  cell.seed = seed;
+  cell.num_users = users;
+  cell.far_fraction = far;
+  cell.per_user_pps = pps;
+  cell.duration_s = 12.0;
+  cell.timing = mac::TimingProfile::kPaper;
+  cell.profile.closed_loop = true;
+  cell.profile.window = window;
+  cell.profile.uplink_fraction = 0.5;
+  cell.profile.size_weights = {0.35, 0.10, 0.08, 0.47};
+  return cell;
+}
+
+/// Average of the finite entries of a binned series over [lo, hi].
+double band_mean(const core::UtilizationBinner& binner, int lo, int hi) {
+  double sum = 0;
+  int n = 0;
+  for (int p = lo; p <= hi; ++p) {
+    const double v = binner.mean(p);
+    if (std::isfinite(v)) {
+      sum += v;
+      ++n;
+    }
+  }
+  return n ? sum / n : std::nan("");
+}
+
+class PaperClaims : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    acc_ = new core::FigureAccumulator;
+    thr_ = new core::UtilizationBinner;
+    bt1_ = new core::UtilizationBinner;
+    bt11_ = new core::UtilizationBinner;
+    bytes1_ = new core::UtilizationBinner;
+    bytes11_ = new core::UtilizationBinner;
+
+    const core::TraceAnalyzer analyzer;
+    // Compact two-regime sweep (see bench/common.cpp).
+    struct Point {
+      int users;
+      double far;
+      double pps;
+      int window;
+    };
+    const Point points[] = {
+        {24, 0.15, 6, 1},  {24, 0.15, 12, 1}, {24, 0.15, 18, 1},
+        {5, 0.0, 60, 3},   {8, 0.03, 60, 3},  {12, 0.10, 60, 3},
+        {16, 0.22, 60, 3}, {20, 0.40, 60, 3},
+    };
+    std::uint64_t seed = 5100;
+    for (const Point& p : points) {
+      const auto result =
+          workload::run_cell(sweep_cell(seed++, p.users, p.far, p.pps, p.window));
+      const auto analysis = analyzer.analyze(result.trace);
+      acc_->add(analysis);
+      for (const auto& s : analysis.seconds) {
+        const double u = s.utilization();
+        thr_->add(u, s.throughput_mbps());
+        bt1_->add(u, s.cbt_us_by_rate[0] / 1e6);
+        bt11_->add(u, s.cbt_us_by_rate[3] / 1e6);
+        bytes1_->add(u, static_cast<double>(s.bytes_by_rate[0]));
+        bytes11_->add(u, static_cast<double>(s.bytes_by_rate[3]));
+      }
+    }
+  }
+  static void TearDownTestSuite() {
+    delete acc_;
+    delete thr_;
+    delete bt1_;
+    delete bt11_;
+    delete bytes1_;
+    delete bytes11_;
+  }
+
+  static core::FigureAccumulator* acc_;
+  static core::UtilizationBinner* thr_;
+  static core::UtilizationBinner* bt1_;
+  static core::UtilizationBinner* bt11_;
+  static core::UtilizationBinner* bytes1_;
+  static core::UtilizationBinner* bytes11_;
+};
+
+core::FigureAccumulator* PaperClaims::acc_ = nullptr;
+core::UtilizationBinner* PaperClaims::thr_ = nullptr;
+core::UtilizationBinner* PaperClaims::bt1_ = nullptr;
+core::UtilizationBinner* PaperClaims::bt11_ = nullptr;
+core::UtilizationBinner* PaperClaims::bytes1_ = nullptr;
+core::UtilizationBinner* PaperClaims::bytes11_ = nullptr;
+
+TEST_F(PaperClaims, SweepCoversModerateAndHighCongestion) {
+  std::size_t moderate = 0, heavy = 0;
+  for (int p = 30; p <= 79; ++p) moderate += thr_->count(p);
+  for (int p = 80; p <= 100; ++p) heavy += thr_->count(p);
+  EXPECT_GT(moderate, 20u);
+  EXPECT_GT(heavy, 3u);
+}
+
+TEST_F(PaperClaims, ThroughputRisesThroughModerateCongestion) {
+  // §5.2: throughput grows with utilization from 30% toward the knee.
+  const double low = band_mean(*thr_, 30, 45);
+  const double knee = band_mean(*thr_, 75, 88);
+  ASSERT_TRUE(std::isfinite(low));
+  ASSERT_TRUE(std::isfinite(knee));
+  EXPECT_GT(knee, 1.4 * low);
+}
+
+TEST_F(PaperClaims, ThroughputPeaksNearThePaperKnee) {
+  // §5.3: the IETF network saturated around 84% utilization.
+  const double knee = acc_->knee_utilization();
+  EXPECT_GE(knee, 70.0);
+  EXPECT_LE(knee, 92.0);
+}
+
+TEST_F(PaperClaims, OneMbpsBusyTimeGrowsWithCongestion) {
+  // Figure 8: the 1 Mbps airtime share grows as congestion rises.
+  const double low = band_mean(*bt1_, 30, 50);
+  const double high = band_mean(*bt1_, 70, 95);
+  ASSERT_TRUE(std::isfinite(low));
+  ASSERT_TRUE(std::isfinite(high));
+  EXPECT_GT(high, 1.5 * low);
+}
+
+TEST_F(PaperClaims, ElevenMbpsCarriesFarMoreBytesThanItsAirtime) {
+  // Figures 8+9: in the moderate band 11 Mbps moves several times the bytes
+  // of 1 Mbps without a corresponding airtime share (the DCF anomaly).
+  const double b11 = band_mean(*bytes11_, 40, 80);
+  const double b1 = band_mean(*bytes1_, 40, 80);
+  ASSERT_TRUE(std::isfinite(b11));
+  ASSERT_TRUE(std::isfinite(b1));
+  EXPECT_GT(b11, 2.0 * b1);  // paper: ~300% more
+}
+
+TEST_F(PaperClaims, MiddleRatesAreScarce) {
+  // §6: "current rate adaptation implementations make scarce use of the
+  // 2 Mbps and 5.5 Mbps data rates".
+  const auto fig = acc_->fig12_13_frames_at_rate(phy::Rate::kR11, 1);
+  double r2 = 0, r55 = 0, r1 = 0, r11 = 0;
+  for (int p = 30; p <= 99; ++p) {
+    for (std::size_t cls = 0; cls < core::kNumSizeClasses; ++cls) {
+      auto count_at = [&](phy::Rate rate) {
+        const auto series = acc_->fig12_13_frames_at_rate(rate, 1);
+        const double v = series.series[cls].ys[p - 30];
+        return std::isfinite(v) ? v : 0.0;
+      };
+      r1 += count_at(phy::Rate::kR1);
+      r2 += count_at(phy::Rate::kR2);
+      r55 += count_at(phy::Rate::kR5_5);
+      r11 += count_at(phy::Rate::kR11);
+    }
+  }
+  EXPECT_GT(r11, r2 + r55);
+  EXPECT_GT(r1, r2);   // 1 Mbps heavily used...
+  EXPECT_GT(r1, r55);  // ...while the middle rates stay scarce
+}
+
+TEST_F(PaperClaims, AcceptanceDelayRateBeatsSize) {
+  // Figure 15: S-1 delays exceed XL-11 delays — an 11 Mbps frame of any
+  // size beats a 1 Mbps frame.
+  const auto fig = acc_->fig15_acceptance_delay(1);
+  // Series order: S-1, XL-1, S-11, XL-11.
+  double s1 = 0, xl11 = 0;
+  int n1 = 0, n11 = 0;
+  for (std::size_t i = 0; i < fig.x.size(); ++i) {
+    if (std::isfinite(fig.series[0].ys[i])) {
+      s1 += fig.series[0].ys[i];
+      ++n1;
+    }
+    if (std::isfinite(fig.series[3].ys[i])) {
+      xl11 += fig.series[3].ys[i];
+      ++n11;
+    }
+  }
+  ASSERT_GT(n1, 0);
+  ASSERT_GT(n11, 0);
+  EXPECT_GT(s1 / n1, xl11 / n11);
+}
+
+TEST(PaperClaimsAblation, ArfLosesToSnrUnderCongestion) {
+  // §7: loss-triggered rate adaptation is detrimental under congestion.
+  auto run_policy = [](rate::Policy policy) {
+    workload::CellConfig cell;
+    cell.seed = 6200;
+    cell.num_users = 14;
+    cell.per_user_pps = 60.0;
+    cell.far_fraction = 0.3;
+    cell.duration_s = 12.0;
+    cell.timing = mac::TimingProfile::kStandard;
+    cell.rate.policy = policy;
+    cell.profile.closed_loop = true;
+    cell.profile.window = 3;
+    cell.profile.uplink_fraction = 0.5;
+    const auto result = workload::run_cell(cell);
+    const auto analysis = core::TraceAnalyzer{}.analyze(result.trace);
+    double good = 0;
+    for (const auto& s : analysis.seconds) good += s.goodput_mbps();
+    return good / analysis.seconds.size();
+  };
+  const double arf = run_policy(rate::Policy::kArf);
+  const double snr = run_policy(rate::Policy::kSnrThreshold);
+  EXPECT_GT(snr, 1.5 * arf);
+}
+
+TEST(PaperClaimsRtsCts, MinorityRtsUsersGetWorseDelivery) {
+  // §6.1: RTS/CTS use by a few nodes denies them fair channel access under
+  // congestion.
+  core::FigureAccumulator acc;
+  for (std::uint64_t seed : {6301, 6302, 6303}) {
+    workload::CellConfig cell;
+    cell.seed = seed;
+    cell.num_users = 16;
+    cell.per_user_pps = 60.0;
+    cell.far_fraction = 0.25;
+    cell.rtscts_fraction = 0.15;
+    cell.duration_s = 12.0;
+    cell.timing = mac::TimingProfile::kStandard;
+    cell.profile.closed_loop = true;
+    cell.profile.window = 3;
+    cell.profile.uplink_fraction = 0.5;
+    const auto result = workload::run_cell(cell);
+    acc.add(core::TraceAnalyzer{}.analyze(result.trace));
+  }
+  const auto fair = acc.rts_fairness();
+  ASSERT_GT(fair.rts_senders, 0u);
+  ASSERT_GT(fair.other_senders, 0u);
+  EXPECT_LT(fair.rts_delivery_ratio, fair.other_delivery_ratio);
+}
+
+}  // namespace
+}  // namespace wlan

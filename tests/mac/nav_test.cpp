@@ -1,0 +1,40 @@
+#include "mac/nav.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wlan::mac {
+namespace {
+
+TEST(NavTest, InitiallyIdle) {
+  Nav nav;
+  EXPECT_FALSE(nav.busy(Microseconds{0}));
+  EXPECT_FALSE(nav.busy(Microseconds{1'000'000}));
+}
+
+TEST(NavTest, BusyUntilExpiry) {
+  Nav nav;
+  nav.set_until(Microseconds{100});
+  EXPECT_TRUE(nav.busy(Microseconds{0}));
+  EXPECT_TRUE(nav.busy(Microseconds{99}));
+  EXPECT_FALSE(nav.busy(Microseconds{100}));  // boundary: expired exactly
+}
+
+TEST(NavTest, KeepsMaximumOfSettings) {
+  Nav nav;
+  nav.set_until(Microseconds{500});
+  nav.set_until(Microseconds{200});  // shorter: ignored per 802.11
+  EXPECT_EQ(nav.expires_at().count(), 500);
+  nav.set_until(Microseconds{800});
+  EXPECT_EQ(nav.expires_at().count(), 800);
+}
+
+TEST(NavTest, ClearResets) {
+  Nav nav;
+  nav.set_until(Microseconds{500});
+  nav.clear();
+  EXPECT_FALSE(nav.busy(Microseconds{0}));
+  EXPECT_EQ(nav.expires_at().count(), 0);
+}
+
+}  // namespace
+}  // namespace wlan::mac

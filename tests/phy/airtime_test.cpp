@@ -1,0 +1,65 @@
+#include "phy/airtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mac/frame.hpp"
+
+namespace wlan::phy {
+namespace {
+
+TEST(AirtimeTest, PlcpIsPaperValue) {
+  EXPECT_EQ(kPlcpDuration.count(), 192);
+}
+
+TEST(AirtimeTest, ControlFrameDurationsMatchTable2) {
+  // Table 2: D_RTS = 352 us (20 B at 1 Mbps + PLCP), D_CTS/D_ACK = 304 us.
+  EXPECT_EQ(raw_airtime(mac::kRtsBytes, Rate::kR1).count(), 352);
+  EXPECT_EQ(raw_airtime(mac::kCtsBytes, Rate::kR1).count(), 304);
+  EXPECT_EQ(raw_airtime(mac::kAckBytes, Rate::kR1).count(), 304);
+}
+
+TEST(AirtimeTest, DataFormulaMatchesTable2Expression) {
+  // D_DATA = 192 + 8*(34+size)/rate.
+  EXPECT_EQ(data_airtime(1000, Rate::kR1).count(), 192 + 8 * 1034);
+  EXPECT_EQ(data_airtime(1000, Rate::kR2).count(), 192 + 4 * 1034);
+}
+
+TEST(AirtimeTest, FractionalRatesRoundUp) {
+  // 8*1034/11 = 752.0; 8*1035/11 = 752.7 -> 753.
+  EXPECT_EQ(data_airtime(1000, Rate::kR11).count(), 192 + 752);
+  EXPECT_EQ(data_airtime(1001, Rate::kR11).count(), 192 + 753);
+}
+
+TEST(AirtimeTest, ZeroPayloadStillCarriesHeader) {
+  EXPECT_EQ(data_airtime(0, Rate::kR1).count(),
+            192 + 8 * static_cast<int>(kMacOverheadBytes));
+}
+
+TEST(AirtimeTest, HigherRateNeverSlower) {
+  for (std::uint32_t size : {0u, 64u, 1472u}) {
+    EXPECT_LE(data_airtime(size, Rate::kR2), data_airtime(size, Rate::kR1));
+    EXPECT_LE(data_airtime(size, Rate::kR5_5), data_airtime(size, Rate::kR2));
+    EXPECT_LE(data_airtime(size, Rate::kR11), data_airtime(size, Rate::kR5_5));
+  }
+}
+
+TEST(AirtimeTest, PaperHeadlineAirtimeOrdering) {
+  // §6: a large frame at 11 Mbps costs less air than a small one at 1 Mbps.
+  EXPECT_LT(data_airtime(1472, Rate::kR11), data_airtime(300, Rate::kR1));
+}
+
+class AirtimeMonotonicity
+    : public ::testing::TestWithParam<std::tuple<Rate, std::uint32_t>> {};
+
+TEST_P(AirtimeMonotonicity, LargerFramesTakeLonger) {
+  const auto [rate, size] = GetParam();
+  EXPECT_LT(data_airtime(size, rate), data_airtime(size + 100, rate));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AirtimeMonotonicity,
+    ::testing::Combine(::testing::ValuesIn(kAllRates.begin(), kAllRates.end()),
+                       ::testing::Values(0u, 100u, 400u, 800u, 1200u)));
+
+}  // namespace
+}  // namespace wlan::phy

@@ -1,0 +1,100 @@
+#include "phy/error_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wlan::phy {
+namespace {
+
+TEST(ErrorModelTest, BerBoundedByHalf) {
+  for (Rate r : kAllRates) {
+    EXPECT_LE(bit_error_rate(r, -20.0), 0.5);
+    EXPECT_GE(bit_error_rate(r, -20.0), 0.0);
+    EXPECT_GE(bit_error_rate(r, 40.0), 0.0);
+  }
+}
+
+TEST(ErrorModelTest, BerMonotonicInSnr) {
+  for (Rate r : kAllRates) {
+    double prev = bit_error_rate(r, -10.0);
+    for (double snr = -8.0; snr <= 20.0; snr += 2.0) {
+      const double ber = bit_error_rate(r, snr);
+      EXPECT_LE(ber, prev + 1e-15) << "rate " << rate_name(r) << " snr " << snr;
+      prev = ber;
+    }
+  }
+}
+
+TEST(ErrorModelTest, HigherRatesNeedMoreSnr) {
+  // At a fixed mid-range SNR the BER ordering must follow modulation
+  // robustness: 1 < 2 < 5.5 < 11 — this drives every rate-adaptation story
+  // in the paper.
+  for (double snr : {2.0, 4.0, 6.0, 8.0}) {
+    EXPECT_LE(bit_error_rate(Rate::kR1, snr), bit_error_rate(Rate::kR2, snr));
+    EXPECT_LE(bit_error_rate(Rate::kR2, snr), bit_error_rate(Rate::kR5_5, snr));
+    EXPECT_LE(bit_error_rate(Rate::kR5_5, snr),
+              bit_error_rate(Rate::kR11, snr));
+  }
+}
+
+TEST(ErrorModelTest, FrameSuccessLimits) {
+  for (Rate r : kAllRates) {
+    EXPECT_GT(frame_success_probability(r, 1500, 35.0), 0.999);
+    EXPECT_LT(frame_success_probability(r, 1500, -10.0), 1e-6);
+  }
+}
+
+TEST(ErrorModelTest, LongerFramesFailMore) {
+  for (Rate r : kAllRates) {
+    const double snr = 6.0;
+    EXPECT_GE(frame_success_probability(r, 100, snr),
+              frame_success_probability(r, 1500, snr));
+  }
+}
+
+TEST(ErrorModelTest, RequiredSnrIsConsistentInverse) {
+  for (Rate r : kAllRates) {
+    const double snr = required_snr_db(r, 1024, 0.9);
+    const double p = frame_success_probability(r, 1024, snr);
+    EXPECT_NEAR(p, 0.9, 0.01) << "rate " << rate_name(r);
+  }
+}
+
+TEST(ErrorModelTest, RequiredSnrOrderedByRate) {
+  const double s1 = required_snr_db(Rate::kR1, 1024, 0.9);
+  const double s2 = required_snr_db(Rate::kR2, 1024, 0.9);
+  const double s55 = required_snr_db(Rate::kR5_5, 1024, 0.9);
+  const double s11 = required_snr_db(Rate::kR11, 1024, 0.9);
+  EXPECT_LT(s1, s2);
+  EXPECT_LT(s2, s55);
+  EXPECT_LT(s55, s11);
+  // Sanity: thresholds live in a plausible indoor range.
+  EXPECT_GT(s1, -2.0);
+  EXPECT_LT(s11, 20.0);
+}
+
+TEST(ErrorModelTest, CaptureThresholdPositive) {
+  EXPECT_GT(kCaptureThresholdDb, 0.0);
+}
+
+struct SweepParam {
+  Rate rate;
+  double target;
+};
+
+class RequiredSnrSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(RequiredSnrSweep, InverseHoldsAcrossTargets) {
+  const auto [rate, target] = GetParam();
+  const double snr = required_snr_db(rate, 512, target);
+  EXPECT_NEAR(frame_success_probability(rate, 512, snr), target, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RequiredSnrSweep,
+    ::testing::Values(SweepParam{Rate::kR1, 0.5}, SweepParam{Rate::kR1, 0.99},
+                      SweepParam{Rate::kR2, 0.8}, SweepParam{Rate::kR5_5, 0.9},
+                      SweepParam{Rate::kR11, 0.5},
+                      SweepParam{Rate::kR11, 0.95}));
+
+}  // namespace
+}  // namespace wlan::phy

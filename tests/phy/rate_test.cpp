@@ -1,0 +1,76 @@
+#include "phy/rate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wlan::phy {
+namespace {
+
+TEST(RateTest, KbpsValues) {
+  EXPECT_EQ(rate_kbps(Rate::kR1), 1000u);
+  EXPECT_EQ(rate_kbps(Rate::kR2), 2000u);
+  EXPECT_EQ(rate_kbps(Rate::kR5_5), 5500u);
+  EXPECT_EQ(rate_kbps(Rate::kR11), 11000u);
+}
+
+TEST(RateTest, MbpsValues) {
+  EXPECT_DOUBLE_EQ(rate_mbps(Rate::kR5_5), 5.5);
+  EXPECT_DOUBLE_EQ(rate_mbps(Rate::kR11), 11.0);
+}
+
+TEST(RateTest, NamesMatchPaperLegend) {
+  EXPECT_EQ(rate_name(Rate::kR1), "1");
+  EXPECT_EQ(rate_name(Rate::kR2), "2");
+  EXPECT_EQ(rate_name(Rate::kR5_5), "5.5");
+  EXPECT_EQ(rate_name(Rate::kR11), "11");
+}
+
+TEST(RateTest, IndicesDenseAndOrdered) {
+  EXPECT_EQ(rate_index(Rate::kR1), 0u);
+  EXPECT_EQ(rate_index(Rate::kR11), 3u);
+  EXPECT_EQ(kAllRates.size(), kNumRates);
+  for (std::size_t i = 0; i < kAllRates.size(); ++i) {
+    EXPECT_EQ(rate_index(kAllRates[i]), i);
+  }
+}
+
+TEST(RateTest, ParseAcceptsCanonicalForms) {
+  EXPECT_EQ(parse_rate("1"), Rate::kR1);
+  EXPECT_EQ(parse_rate("2"), Rate::kR2);
+  EXPECT_EQ(parse_rate("5.5"), Rate::kR5_5);
+  EXPECT_EQ(parse_rate("11"), Rate::kR11);
+  EXPECT_EQ(parse_rate("11Mbps"), Rate::kR11);
+  EXPECT_EQ(parse_rate("5.5 Mbps"), Rate::kR5_5);
+}
+
+TEST(RateTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(parse_rate("3").has_value());
+  EXPECT_FALSE(parse_rate("").has_value());
+  EXPECT_FALSE(parse_rate("eleven").has_value());
+  EXPECT_FALSE(parse_rate("1.0").has_value());
+}
+
+TEST(RateTest, LadderSaturatesAtEnds) {
+  EXPECT_EQ(next_lower(Rate::kR1), Rate::kR1);
+  EXPECT_EQ(next_higher(Rate::kR11), Rate::kR11);
+}
+
+TEST(RateTest, LadderStepsAreAdjacent) {
+  EXPECT_EQ(next_higher(Rate::kR1), Rate::kR2);
+  EXPECT_EQ(next_higher(Rate::kR2), Rate::kR5_5);
+  EXPECT_EQ(next_higher(Rate::kR5_5), Rate::kR11);
+  EXPECT_EQ(next_lower(Rate::kR11), Rate::kR5_5);
+  EXPECT_EQ(next_lower(Rate::kR5_5), Rate::kR2);
+  EXPECT_EQ(next_lower(Rate::kR2), Rate::kR1);
+}
+
+class RateRoundTrip : public ::testing::TestWithParam<Rate> {};
+
+TEST_P(RateRoundTrip, NameParsesBack) {
+  EXPECT_EQ(parse_rate(rate_name(GetParam())), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRates, RateRoundTrip,
+                         ::testing::ValuesIn(kAllRates.begin(), kAllRates.end()));
+
+}  // namespace
+}  // namespace wlan::phy

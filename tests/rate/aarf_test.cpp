@@ -1,0 +1,71 @@
+#include "rate/aarf.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wlan::rate {
+namespace {
+
+// Drives the controller to 5.5 Mbps from the initial 11.
+void drop_one_rate(Aarf& aarf) {
+  aarf.on_failure();
+  aarf.on_failure();
+}
+
+TEST(AarfTest, BehavesLikeArfInitially) {
+  Aarf aarf(10, 2);
+  EXPECT_EQ(aarf.rate_for_next(0.0), phy::Rate::kR11);
+  drop_one_rate(aarf);
+  EXPECT_EQ(aarf.rate_for_next(0.0), phy::Rate::kR5_5);
+  for (int i = 0; i < 10; ++i) aarf.on_success();
+  EXPECT_EQ(aarf.rate_for_next(0.0), phy::Rate::kR11);
+}
+
+TEST(AarfTest, FailedProbeDoublesUpThreshold) {
+  Aarf aarf(10, 2);
+  drop_one_rate(aarf);  // at 5.5
+
+  // Probe up, fail -> back to 5.5, threshold now 20.
+  for (int i = 0; i < 10; ++i) aarf.on_success();
+  ASSERT_EQ(aarf.rate_for_next(0.0), phy::Rate::kR11);
+  aarf.on_failure();
+  ASSERT_EQ(aarf.rate_for_next(0.0), phy::Rate::kR5_5);
+
+  // 10 successes no longer trigger a probe...
+  for (int i = 0; i < 10; ++i) aarf.on_success();
+  EXPECT_EQ(aarf.rate_for_next(0.0), phy::Rate::kR5_5);
+  // ...but 20 do.
+  for (int i = 0; i < 10; ++i) aarf.on_success();
+  EXPECT_EQ(aarf.rate_for_next(0.0), phy::Rate::kR11);
+}
+
+TEST(AarfTest, ThresholdCapped) {
+  Aarf aarf(10, 2);
+  drop_one_rate(aarf);
+  // Fail many probes: threshold doubles 10->20->40->50 (cap).
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 50; ++i) aarf.on_success();
+    if (aarf.rate_for_next(0.0) == phy::Rate::kR11) aarf.on_failure();
+  }
+  // Still recoverable within the cap.
+  for (int i = 0; i < 50; ++i) aarf.on_success();
+  EXPECT_EQ(aarf.rate_for_next(0.0), phy::Rate::kR11);
+}
+
+TEST(AarfTest, RegularDropResetsThreshold) {
+  Aarf aarf(10, 2);
+  drop_one_rate(aarf);  // 5.5
+  for (int i = 0; i < 10; ++i) aarf.on_success();
+  aarf.on_failure();  // failed probe -> threshold 20, back at 5.5
+  drop_one_rate(aarf);  // regular drop to 2: threshold back to base
+  ASSERT_EQ(aarf.rate_for_next(0.0), phy::Rate::kR2);
+  for (int i = 0; i < 10; ++i) aarf.on_success();
+  EXPECT_EQ(aarf.rate_for_next(0.0), phy::Rate::kR5_5);
+}
+
+TEST(AarfTest, Name) {
+  Aarf aarf(10, 2);
+  EXPECT_EQ(aarf.name(), "AARF");
+}
+
+}  // namespace
+}  // namespace wlan::rate

@@ -1,0 +1,88 @@
+#include "rate/arf.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wlan::rate {
+namespace {
+
+TEST(ArfTest, StartsAtTopRate) {
+  Arf arf(10, 2);
+  EXPECT_EQ(arf.rate_for_next(0.0), phy::Rate::kR11);
+}
+
+TEST(ArfTest, TwoConsecutiveFailuresDropRate) {
+  Arf arf(10, 2);
+  arf.on_failure();
+  EXPECT_EQ(arf.rate_for_next(0.0), phy::Rate::kR11);  // one is not enough
+  arf.on_failure();
+  EXPECT_EQ(arf.rate_for_next(0.0), phy::Rate::kR5_5);
+}
+
+TEST(ArfTest, SuccessResetsFailureCount) {
+  Arf arf(10, 2);
+  arf.on_failure();
+  arf.on_success();
+  arf.on_failure();
+  EXPECT_EQ(arf.rate_for_next(0.0), phy::Rate::kR11);
+}
+
+TEST(ArfTest, SuccessTrainProbesUp) {
+  Arf arf(10, 2);
+  // Get down to 5.5 first.
+  arf.on_failure();
+  arf.on_failure();
+  ASSERT_EQ(arf.rate_for_next(0.0), phy::Rate::kR5_5);
+  for (int i = 0; i < 10; ++i) arf.on_success();
+  EXPECT_EQ(arf.rate_for_next(0.0), phy::Rate::kR11);
+}
+
+TEST(ArfTest, FailedProbeFallsStraightBack) {
+  Arf arf(10, 2);
+  arf.on_failure();
+  arf.on_failure();  // at 5.5
+  for (int i = 0; i < 10; ++i) arf.on_success();  // probe up to 11
+  ASSERT_EQ(arf.rate_for_next(0.0), phy::Rate::kR11);
+  arf.on_failure();  // probe fails: single failure is enough
+  EXPECT_EQ(arf.rate_for_next(0.0), phy::Rate::kR5_5);
+}
+
+TEST(ArfTest, CannotDropBelowOne) {
+  Arf arf(10, 2);
+  for (int i = 0; i < 20; ++i) arf.on_failure();
+  EXPECT_EQ(arf.rate_for_next(0.0), phy::Rate::kR1);
+}
+
+TEST(ArfTest, CannotProbeAboveEleven) {
+  Arf arf(2, 2);
+  for (int i = 0; i < 50; ++i) arf.on_success();
+  EXPECT_EQ(arf.rate_for_next(0.0), phy::Rate::kR11);
+}
+
+TEST(ArfTest, DescendsWholeLadderUnderSustainedLoss) {
+  Arf arf(10, 2);
+  arf.on_failure();
+  arf.on_failure();
+  EXPECT_EQ(arf.rate_for_next(0.0), phy::Rate::kR5_5);
+  arf.on_failure();
+  arf.on_failure();
+  EXPECT_EQ(arf.rate_for_next(0.0), phy::Rate::kR2);
+  arf.on_failure();
+  arf.on_failure();
+  EXPECT_EQ(arf.rate_for_next(0.0), phy::Rate::kR1);
+}
+
+TEST(ArfTest, IgnoresSnrHint) {
+  // ARF is loss-based: the paper's point is precisely that it cannot tell
+  // collisions from weak signal.
+  Arf arf(10, 2);
+  EXPECT_EQ(arf.rate_for_next(-50.0), phy::Rate::kR11);
+  EXPECT_EQ(arf.rate_for_next(50.0), phy::Rate::kR11);
+}
+
+TEST(ArfTest, Name) {
+  Arf arf(10, 2);
+  EXPECT_EQ(arf.name(), "ARF");
+}
+
+}  // namespace
+}  // namespace wlan::rate

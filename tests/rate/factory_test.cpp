@@ -1,0 +1,58 @@
+#include "rate/rate_controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rate/fixed.hpp"
+
+namespace wlan::rate {
+namespace {
+
+TEST(FactoryTest, BuildsEveryPolicy) {
+  for (Policy p : {Policy::kArf, Policy::kAarf, Policy::kSnrThreshold,
+                   Policy::kFixed1, Policy::kFixed11}) {
+    ControllerConfig cfg;
+    cfg.policy = p;
+    const auto ctl = make_controller(cfg);
+    ASSERT_NE(ctl, nullptr);
+    EXPECT_EQ(ctl->name(), policy_name(p).substr(0, ctl->name().size()));
+  }
+}
+
+TEST(FactoryTest, PolicyNamesDistinct) {
+  EXPECT_EQ(policy_name(Policy::kArf), "ARF");
+  EXPECT_EQ(policy_name(Policy::kAarf), "AARF");
+  EXPECT_EQ(policy_name(Policy::kSnrThreshold), "SNR");
+  EXPECT_EQ(policy_name(Policy::kFixed1), "FIXED-1");
+  EXPECT_EQ(policy_name(Policy::kFixed11), "FIXED-11");
+}
+
+TEST(FixedTest, NeverMoves) {
+  Fixed fixed(phy::Rate::kR5_5);
+  for (int i = 0; i < 5; ++i) fixed.on_failure();
+  EXPECT_EQ(fixed.rate_for_next(0.0), phy::Rate::kR5_5);
+  for (int i = 0; i < 50; ++i) fixed.on_success();
+  EXPECT_EQ(fixed.rate_for_next(40.0), phy::Rate::kR5_5);
+}
+
+TEST(FactoryTest, FixedPoliciesPinTheConfiguredRate) {
+  ControllerConfig cfg;
+  cfg.policy = Policy::kFixed1;
+  EXPECT_EQ(make_controller(cfg)->rate_for_next(30.0), phy::Rate::kR1);
+  cfg.policy = Policy::kFixed11;
+  EXPECT_EQ(make_controller(cfg)->rate_for_next(-10.0), phy::Rate::kR11);
+}
+
+TEST(FactoryTest, ArfThresholdsRespected) {
+  ControllerConfig cfg;
+  cfg.policy = Policy::kArf;
+  cfg.up_threshold = 3;
+  cfg.down_threshold = 1;
+  const auto ctl = make_controller(cfg);
+  ctl->on_failure();  // single failure drops with down_threshold = 1
+  EXPECT_EQ(ctl->rate_for_next(0.0), phy::Rate::kR5_5);
+  for (int i = 0; i < 3; ++i) ctl->on_success();
+  EXPECT_EQ(ctl->rate_for_next(0.0), phy::Rate::kR11);
+}
+
+}  // namespace
+}  // namespace wlan::rate

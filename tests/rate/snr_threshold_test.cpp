@@ -1,0 +1,65 @@
+#include "rate/snr_threshold.hpp"
+
+#include <gtest/gtest.h>
+
+#include "phy/error_model.hpp"
+
+namespace wlan::rate {
+namespace {
+
+TEST(SnrThresholdTest, HighSnrSelectsEleven) {
+  SnrThreshold ctl(0.9, 1024);
+  EXPECT_EQ(ctl.rate_for_next(30.0), phy::Rate::kR11);
+}
+
+TEST(SnrThresholdTest, VeryLowSnrFallsToOne) {
+  SnrThreshold ctl(0.9, 1024);
+  EXPECT_EQ(ctl.rate_for_next(-5.0), phy::Rate::kR1);
+}
+
+TEST(SnrThresholdTest, ThresholdsMatchErrorModel) {
+  SnrThreshold ctl(0.9, 1024);
+  for (phy::Rate r : phy::kAllRates) {
+    EXPECT_NEAR(ctl.threshold_db(r), phy::required_snr_db(r, 1024, 0.9), 1e-9);
+  }
+}
+
+TEST(SnrThresholdTest, SelectionIsHighestFeasible) {
+  SnrThreshold ctl(0.9, 1024);
+  // Just above the 5.5 threshold but below the 11 threshold.
+  const double snr =
+      (ctl.threshold_db(phy::Rate::kR5_5) + ctl.threshold_db(phy::Rate::kR11)) / 2;
+  EXPECT_EQ(ctl.rate_for_next(snr), phy::Rate::kR5_5);
+}
+
+TEST(SnrThresholdTest, RemembersLastKnownSnr) {
+  SnrThreshold ctl(0.9, 1024);
+  EXPECT_EQ(ctl.rate_for_next(-5.0), phy::Rate::kR1);
+  // Sentinel "unknown" hint must reuse the remembered SNR, not reset.
+  EXPECT_EQ(ctl.rate_for_next(-200.0), phy::Rate::kR1);
+}
+
+TEST(SnrThresholdTest, IgnoresLossFeedback) {
+  SnrThreshold ctl(0.9, 1024);
+  ctl.rate_for_next(30.0);
+  for (int i = 0; i < 10; ++i) ctl.on_failure();
+  // Still 11: collisions do not drag an SNR-based policy down (the paper's
+  // recommended behaviour).
+  EXPECT_EQ(ctl.rate_for_next(30.0), phy::Rate::kR11);
+}
+
+TEST(SnrThresholdTest, TighterTargetNeedsMoreSnr) {
+  SnrThreshold loose(0.5, 1024);
+  SnrThreshold tight(0.99, 1024);
+  for (phy::Rate r : phy::kAllRates) {
+    EXPECT_LT(loose.threshold_db(r), tight.threshold_db(r));
+  }
+}
+
+TEST(SnrThresholdTest, Name) {
+  SnrThreshold ctl(0.9, 1024);
+  EXPECT_EQ(ctl.name(), "SNR");
+}
+
+}  // namespace
+}  // namespace wlan::rate

@@ -1,0 +1,116 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace wlan::sim {
+namespace {
+
+TEST(EventQueueTest, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.next_time(), Microseconds::never());
+}
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(Microseconds{30}, [&] { order.push_back(3); });
+  q.schedule(Microseconds{10}, [&] { order.push_back(1); });
+  q.schedule(Microseconds{20}, [&] { order.push_back(2); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, EqualTimesRunInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(Microseconds{5}, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.run_next();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, RunNextReturnsEventTime) {
+  EventQueue q;
+  q.schedule(Microseconds{42}, [] {});
+  EXPECT_EQ(q.run_next().count(), 42);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.schedule(Microseconds{5}, [&] { ran = true; });
+  q.cancel(id);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, CancelledEventSkippedBetweenLiveOnes) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(Microseconds{1}, [&] { order.push_back(1); });
+  const EventId id = q.schedule(Microseconds{2}, [&] { order.push_back(2); });
+  q.schedule(Microseconds{3}, [&] { order.push_back(3); });
+  q.cancel(id);
+  EXPECT_EQ(q.size(), 2u);
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueueTest, DoubleCancelHarmless) {
+  EventQueue q;
+  const EventId id = q.schedule(Microseconds{1}, [] {});
+  q.schedule(Microseconds{2}, [] {});
+  q.cancel(id);
+  q.cancel(id);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueTest, CancelDefaultIdIsNoop) {
+  EventQueue q;
+  q.schedule(Microseconds{1}, [] {});
+  q.cancel(EventId{});
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueTest, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId id = q.schedule(Microseconds{1}, [] {});
+  q.schedule(Microseconds{9}, [] {});
+  q.cancel(id);
+  EXPECT_EQ(q.next_time().count(), 9);
+}
+
+TEST(EventQueueTest, CallbackMayScheduleMoreEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) q.schedule(Microseconds{depth * 10}, chain);
+  };
+  q.schedule(Microseconds{0}, chain);
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(depth, 5);
+}
+
+TEST(EventQueueTest, ManyEventsStressOrdering) {
+  EventQueue q;
+  std::int64_t last = -1;
+  bool monotone = true;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t t = (i * 7919) % 1000;  // pseudo-shuffled times
+    q.schedule(Microseconds{t}, [] {});
+  }
+  while (!q.empty()) {
+    const auto t = q.run_next().count();
+    monotone = monotone && t >= last;
+    last = t;
+  }
+  EXPECT_TRUE(monotone);
+}
+
+}  // namespace
+}  // namespace wlan::sim

@@ -1,0 +1,87 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wlan::sim {
+namespace {
+
+TEST(SimulatorTest, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now().count(), 0);
+}
+
+TEST(SimulatorTest, CallbackObservesItsOwnTimestamp) {
+  // Regression test: the clock must advance *before* the callback runs.
+  // (An earlier version updated now() after dispatch, which silently broke
+  // every SIFS/DIFS offset in the MAC.)
+  Simulator sim;
+  std::int64_t seen = -1;
+  sim.at(Microseconds{123}, [&] { seen = sim.now().count(); });
+  sim.run_until(Microseconds{1000});
+  EXPECT_EQ(seen, 123);
+}
+
+TEST(SimulatorTest, NestedSchedulingUsesCurrentTime) {
+  Simulator sim;
+  std::int64_t inner_time = -1;
+  sim.at(Microseconds{100}, [&] {
+    sim.in(Microseconds{50}, [&] { inner_time = sim.now().count(); });
+  });
+  sim.run_until(Microseconds{1000});
+  EXPECT_EQ(inner_time, 150);
+}
+
+TEST(SimulatorTest, RunUntilIncludesBoundary) {
+  Simulator sim;
+  bool at_boundary = false, after = false;
+  sim.at(Microseconds{100}, [&] { at_boundary = true; });
+  sim.at(Microseconds{101}, [&] { after = true; });
+  sim.run_until(Microseconds{100});
+  EXPECT_TRUE(at_boundary);
+  EXPECT_FALSE(after);
+  EXPECT_EQ(sim.now().count(), 100);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWhenIdle) {
+  Simulator sim;
+  sim.run_until(Microseconds{500});
+  EXPECT_EQ(sim.now().count(), 500);
+}
+
+TEST(SimulatorTest, PastSchedulesClampToNow) {
+  Simulator sim;
+  sim.run_until(Microseconds{100});
+  std::int64_t ran_at = -1;
+  sim.at(Microseconds{10}, [&] { ran_at = sim.now().count(); });  // in the past
+  sim.run_until(Microseconds{200});
+  EXPECT_EQ(ran_at, 100);
+}
+
+TEST(SimulatorTest, CancelledEventDoesNotRun) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.in(Microseconds{10}, [&] { ran = true; });
+  sim.cancel(id);
+  sim.run_until(Microseconds{100});
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, EventsExecutedCounter) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.in(Microseconds{i}, [] {});
+  sim.run_until(Microseconds{100});
+  EXPECT_EQ(sim.events_executed(), 7u);
+}
+
+TEST(SimulatorTest, RunDrainsEverything) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 0; i < 5; ++i) sim.at(Microseconds{i * 10}, [&] { ++count; });
+  sim.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+}  // namespace
+}  // namespace wlan::sim

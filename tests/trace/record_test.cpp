@@ -1,0 +1,130 @@
+#include "trace/record.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wlan::trace {
+namespace {
+
+CaptureRecord rec(std::int64_t t, std::uint64_t frame_id, std::uint8_t sniffer) {
+  CaptureRecord r;
+  r.time_us = t;
+  r.frame_id = frame_id;
+  r.sniffer_id = sniffer;
+  return r;
+}
+
+TEST(SortByTimeTest, SortsAndIsStable) {
+  std::vector<CaptureRecord> v{rec(30, 1, 0), rec(10, 2, 0), rec(10, 3, 0),
+                               rec(20, 4, 0)};
+  sort_by_time(v);
+  EXPECT_EQ(v[0].frame_id, 2u);
+  EXPECT_EQ(v[1].frame_id, 3u);  // stable: original relative order kept
+  EXPECT_EQ(v[2].frame_id, 4u);
+  EXPECT_EQ(v[3].frame_id, 1u);
+}
+
+TEST(MergeTracesTest, DedupsByFrameId) {
+  Trace a, b;
+  a.records = {rec(10, 100, 0), rec(20, 101, 0)};
+  b.records = {rec(11, 100, 1), rec(30, 102, 1)};  // 100 heard twice
+  const Trace merged = merge_traces({a, b});
+  EXPECT_EQ(merged.records.size(), 3u);
+}
+
+TEST(MergeTracesTest, KeepsAllUnknownFrameIds) {
+  // frame_id == 0 marks real captures with no ground-truth link: never dedup.
+  Trace a, b;
+  a.records = {rec(10, 0, 0)};
+  b.records = {rec(10, 0, 1)};
+  EXPECT_EQ(merge_traces({a, b}).records.size(), 2u);
+}
+
+TEST(MergeTracesTest, ResultTimeSorted) {
+  Trace a, b;
+  a.records = {rec(50, 1, 0), rec(70, 2, 0)};
+  b.records = {rec(10, 3, 1), rec(60, 4, 1)};
+  const Trace merged = merge_traces({a, b});
+  for (std::size_t i = 1; i < merged.records.size(); ++i) {
+    EXPECT_LE(merged.records[i - 1].time_us, merged.records[i].time_us);
+  }
+}
+
+TEST(MergeTracesTest, SpansUnionOfTimeRanges) {
+  Trace a, b;
+  a.start_us = 100;
+  a.end_us = 500;
+  b.start_us = 50;
+  b.end_us = 400;
+  const Trace merged = merge_traces({a, b});
+  EXPECT_EQ(merged.start_us, 50);
+  EXPECT_EQ(merged.end_us, 500);
+}
+
+TEST(MergeTracesTest, EmptyInput) {
+  EXPECT_TRUE(merge_traces({}).records.empty());
+}
+
+TEST(TraceTest, DurationSeconds) {
+  Trace t;
+  t.start_us = 1'000'000;
+  t.end_us = 3'500'000;
+  EXPECT_DOUBLE_EQ(t.duration_seconds(), 2.5);
+}
+
+TEST(RecordFromFrameTest, CopiesAllAnalyzedFields) {
+  mac::Frame f = mac::make_data(7, 8, 9, 42, 512, phy::Rate::kR5_5, 11);
+  f.retry = true;
+  const CaptureRecord r = record_from_frame(f, Microseconds{999}, 18.5f, 2);
+  EXPECT_EQ(r.time_us, 999);
+  EXPECT_EQ(r.channel, 11);
+  EXPECT_EQ(r.rate, phy::Rate::kR5_5);
+  EXPECT_FLOAT_EQ(r.snr_db, 18.5f);
+  EXPECT_EQ(r.type, mac::FrameType::kData);
+  EXPECT_EQ(r.src, 7);
+  EXPECT_EQ(r.dst, 8);
+  EXPECT_EQ(r.bssid, 9);
+  EXPECT_EQ(r.seq, 42);
+  EXPECT_TRUE(r.retry);
+  EXPECT_EQ(r.size_bytes, f.size_bytes());
+  EXPECT_EQ(r.sniffer_id, 2);
+  EXPECT_EQ(r.frame_id, f.id);
+}
+
+
+TEST(SplitByChannelTest, PartitionsRecords) {
+  Trace t;
+  t.start_us = 0;
+  t.end_us = 5'000'000;
+  for (int i = 0; i < 9; ++i) {
+    CaptureRecord r = rec(i * 1000, static_cast<std::uint64_t>(i + 1), 0);
+    r.channel = static_cast<std::uint8_t>(i % 3 == 0 ? 1 : (i % 3 == 1 ? 6 : 11));
+    t.records.push_back(r);
+  }
+  const auto split = split_by_channel(t);
+  ASSERT_EQ(split.size(), 3u);
+  EXPECT_EQ(split[0].first, 1);
+  EXPECT_EQ(split[1].first, 6);
+  EXPECT_EQ(split[2].first, 11);
+  for (const auto& [channel, sub] : split) {
+    EXPECT_EQ(sub.records.size(), 3u);
+    EXPECT_EQ(sub.start_us, 0);
+    EXPECT_EQ(sub.end_us, 5'000'000);
+    for (const auto& r : sub.records) EXPECT_EQ(r.channel, channel);
+  }
+}
+
+TEST(SplitByChannelTest, EmptyTrace) {
+  EXPECT_TRUE(split_by_channel(Trace{}).empty());
+}
+
+TEST(SplitByChannelTest, SingleChannelPassThrough) {
+  Trace t;
+  t.records = {rec(10, 1, 0), rec(20, 2, 0)};
+  for (auto& r : t.records) r.channel = 6;
+  const auto split = split_by_channel(t);
+  ASSERT_EQ(split.size(), 1u);
+  EXPECT_EQ(split[0].second.records.size(), 2u);
+}
+
+}  // namespace
+}  // namespace wlan::trace

@@ -1,0 +1,127 @@
+#include "trace/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace wlan::trace {
+namespace {
+
+Trace sample_trace() {
+  Trace t;
+  t.start_us = 1000;
+  t.end_us = 99'000;
+  for (int i = 0; i < 50; ++i) {
+    CaptureRecord r;
+    r.time_us = 1000 + i * 1963;
+    r.channel = static_cast<std::uint8_t>(i % 3 == 0 ? 1 : (i % 3 == 1 ? 6 : 11));
+    r.rate = static_cast<phy::Rate>(i % 4);
+    r.snr_db = 10.0f + static_cast<float>(i) * 0.25f;
+    r.type = static_cast<mac::FrameType>(i % 8);
+    r.src = static_cast<mac::Addr>(i);
+    r.dst = static_cast<mac::Addr>(i + 1);
+    r.bssid = static_cast<mac::Addr>(i % 5);
+    r.seq = static_cast<std::uint16_t>(i * 3);
+    r.retry = i % 2 == 0;
+    r.size_bytes = 34 + static_cast<std::uint32_t>(i) * 29;
+    r.sniffer_id = static_cast<std::uint8_t>(i % 3);
+    r.frame_id = 1000ULL + static_cast<std::uint64_t>(i);
+    t.records.push_back(r);
+  }
+  return t;
+}
+
+void expect_equal(const Trace& a, const Trace& b) {
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    const auto& x = a.records[i];
+    const auto& y = b.records[i];
+    EXPECT_EQ(x.time_us, y.time_us) << i;
+    EXPECT_EQ(x.channel, y.channel) << i;
+    EXPECT_EQ(x.rate, y.rate) << i;
+    EXPECT_NEAR(x.snr_db, y.snr_db, 1e-4) << i;
+    EXPECT_EQ(x.type, y.type) << i;
+    EXPECT_EQ(x.src, y.src) << i;
+    EXPECT_EQ(x.dst, y.dst) << i;
+    EXPECT_EQ(x.bssid, y.bssid) << i;
+    EXPECT_EQ(x.seq, y.seq) << i;
+    EXPECT_EQ(x.retry, y.retry) << i;
+    EXPECT_EQ(x.size_bytes, y.size_bytes) << i;
+    EXPECT_EQ(x.sniffer_id, y.sniffer_id) << i;
+    EXPECT_EQ(x.frame_id, y.frame_id) << i;
+  }
+}
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "trace_io_test.bin";
+};
+
+TEST_F(TraceIoTest, BinaryRoundTrip) {
+  const Trace original = sample_trace();
+  write_binary(original, path_);
+  const Trace loaded = read_binary(path_);
+  EXPECT_EQ(loaded.start_us, original.start_us);
+  EXPECT_EQ(loaded.end_us, original.end_us);
+  expect_equal(original, loaded);
+}
+
+TEST_F(TraceIoTest, BinaryEmptyTrace) {
+  Trace empty;
+  write_binary(empty, path_);
+  EXPECT_TRUE(read_binary(path_).records.empty());
+}
+
+TEST_F(TraceIoTest, BinaryRejectsBadMagic) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "this is not a trace file at all, but long enough to have a header";
+  }
+  EXPECT_THROW(read_binary(path_), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, BinaryRejectsTruncatedFile) {
+  write_binary(sample_trace(), path_);
+  // Truncate mid-records.
+  std::ifstream in(path_, std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(content.data(), static_cast<std::streamsize>(content.size() / 2));
+  }
+  EXPECT_THROW(read_binary(path_), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, MissingFileThrows) {
+  EXPECT_THROW(read_binary("/nonexistent/file.bin"), std::runtime_error);
+  EXPECT_THROW(read_csv("/nonexistent/file.csv"), std::runtime_error);
+  EXPECT_THROW(write_binary(Trace{}, "/nonexistent-dir/x.bin"),
+               std::runtime_error);
+}
+
+TEST_F(TraceIoTest, CsvRoundTrip) {
+  const Trace original = sample_trace();
+  write_csv(original, path_);
+  const Trace loaded = read_csv(path_);
+  expect_equal(original, loaded);
+}
+
+TEST_F(TraceIoTest, CsvRejectsMalformedRows) {
+  {
+    std::ofstream out(path_);
+    out << "header\n1,2,3\n";
+  }
+  EXPECT_THROW(read_csv(path_), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, CsvRejectsEmptyFile) {
+  { std::ofstream out(path_); }
+  EXPECT_THROW(read_csv(path_), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace wlan::trace

@@ -1,0 +1,83 @@
+#include "util/ascii_chart.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace wlan::util {
+namespace {
+
+TEST(LineChartTest, ContainsTitleAndLegend) {
+  const auto chart = line_chart("My Title", {0, 1, 2}, {{"alpha", {1, 2, 3}}});
+  EXPECT_NE(chart.find("My Title"), std::string::npos);
+  EXPECT_NE(chart.find("alpha"), std::string::npos);
+  EXPECT_NE(chart.find('*'), std::string::npos);
+}
+
+TEST(LineChartTest, EmptyInputsHandled) {
+  EXPECT_NE(line_chart("t", {}, {}).find("(no data)"), std::string::npos);
+  EXPECT_NE(line_chart("t", {1.0}, {{"s", {}}}).find("(no finite data)"),
+            std::string::npos);
+}
+
+TEST(LineChartTest, NanSamplesSkipped) {
+  const double nan = std::nan("");
+  const auto chart =
+      line_chart("t", {0, 1, 2, 3}, {{"s", {1.0, nan, 3.0, nan}}});
+  EXPECT_NE(chart.find('*'), std::string::npos);
+}
+
+TEST(LineChartTest, MultipleSeriesUseDistinctGlyphs) {
+  const auto chart = line_chart("t", {0, 1}, {{"a", {0.0, 1.0}},
+                                              {"b", {1.0, 0.0}}});
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  EXPECT_NE(chart.find('o'), std::string::npos);
+}
+
+TEST(LineChartTest, ConstantSeriesDoesNotDivideByZero) {
+  const auto chart = line_chart("t", {0, 1, 2}, {{"flat", {5.0, 5.0, 5.0}}});
+  EXPECT_NE(chart.find("flat"), std::string::npos);
+}
+
+TEST(BarChartTest, BarsScaleWithValues) {
+  const auto chart = bar_chart("bars", {"big", "small"}, {100.0, 1.0}, 40);
+  const auto big_pos = chart.find("big");
+  const auto small_pos = chart.find("small");
+  ASSERT_NE(big_pos, std::string::npos);
+  ASSERT_NE(small_pos, std::string::npos);
+  // The "big" row must contain many more '#' than the "small" row.
+  const auto big_line = chart.substr(big_pos, chart.find('\n', big_pos) - big_pos);
+  const auto small_line =
+      chart.substr(small_pos, chart.find('\n', small_pos) - small_pos);
+  EXPECT_GT(std::count(big_line.begin(), big_line.end(), '#'),
+            10 * std::count(small_line.begin(), small_line.end(), '#'));
+}
+
+TEST(BarChartTest, AllZeroValuesSafe) {
+  const auto chart = bar_chart("z", {"a"}, {0.0});
+  EXPECT_NE(chart.find('a'), std::string::npos);
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  const auto table = text_table({{"h1", "header2"}, {"a", "b"}});
+  EXPECT_NE(table.find("| h1 "), std::string::npos);
+  EXPECT_NE(table.find("header2"), std::string::npos);
+  EXPECT_NE(table.find("---"), std::string::npos);
+}
+
+TEST(TextTableTest, EmptyTable) { EXPECT_EQ(text_table({}), ""); }
+
+TEST(TextTableTest, RaggedRowsPadded) {
+  const auto table = text_table({{"a", "b", "c"}, {"1"}});
+  EXPECT_NE(table.find("| 1 "), std::string::npos);
+}
+
+TEST(FmtTest, CompactFormatting) {
+  EXPECT_EQ(fmt(1.0), "1");
+  EXPECT_EQ(fmt(2.5), "2.5");
+  EXPECT_EQ(fmt(123456.0), "1.235e+05");
+}
+
+}  // namespace
+}  // namespace wlan::util

@@ -1,0 +1,64 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace wlan::util {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "csv_test.csv";
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  {
+    CsvWriter csv(path_, {"a", "b"});
+    csv.row({1.0, 2.5});
+    csv.row({3.0, 4.0});
+  }
+  EXPECT_EQ(slurp(path_), "a,b\n1,2.5\n3,4\n");
+}
+
+TEST_F(CsvTest, RowWidthMismatchThrows) {
+  CsvWriter csv(path_, {"a", "b"});
+  EXPECT_THROW(csv.row({1.0}), std::runtime_error);
+  EXPECT_THROW(csv.row_strings({"x", "y", "z"}), std::runtime_error);
+}
+
+TEST_F(CsvTest, StringRowsEscaped) {
+  {
+    CsvWriter csv(path_, {"name", "note"});
+    csv.row_strings({"plain", "has,comma"});
+  }
+  EXPECT_EQ(slurp(path_), "name,note\nplain,\"has,comma\"\n");
+}
+
+TEST_F(CsvTest, UnwritablePathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}), std::runtime_error);
+}
+
+TEST(CsvEscapeTest, PassthroughForSimpleCells) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape("123.45"), "123.45");
+}
+
+TEST(CsvEscapeTest, QuotesSpecials) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+}  // namespace
+}  // namespace wlan::util

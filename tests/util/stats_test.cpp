@@ -1,0 +1,169 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wlan::util {
+namespace {
+
+TEST(AccumulatorTest, EmptyIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 0.0);
+}
+
+TEST(AccumulatorTest, SingleSample) {
+  Accumulator acc;
+  acc.add(5.0);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 5.0);
+}
+
+TEST(AccumulatorTest, KnownMoments) {
+  Accumulator acc;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(v);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 4.0);  // classic example set
+  EXPECT_DOUBLE_EQ(acc.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(AccumulatorTest, MergeMatchesCombinedStream) {
+  Accumulator all, left, right;
+  for (int i = 0; i < 100; ++i) {
+    const double v = i * 0.37 - 5;
+    all.add(v);
+    (i < 40 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(AccumulatorTest, MergeWithEmptySides) {
+  Accumulator a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);  // empty right: no change
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);  // empty left: adopt
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(HistogramTest, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 10.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(10.0, 10.0, 5), std::invalid_argument);
+  EXPECT_THROW(Histogram(10.0, 0.0, 5), std::invalid_argument);
+}
+
+TEST(HistogramTest, BinsValuesCorrectly) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(5.5);
+  h.add(5.9);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(5), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(HistogramTest, ClampsOutOfRange) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-5.0);
+  h.add(100.0);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+}
+
+TEST(HistogramTest, WeightedAdd) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(1.5, 7);
+  EXPECT_EQ(h.bin_count(1), 7u);
+  EXPECT_EQ(h.total(), 7u);
+}
+
+TEST(HistogramTest, BinEdgesAndCenters) {
+  Histogram h(10.0, 20.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 12.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(2), 15.0);
+}
+
+TEST(HistogramTest, ModeEmptyAndPeaked) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_FALSE(h.mode().has_value());
+  h.add(3.5);
+  h.add(3.6);
+  h.add(7.0);
+  ASSERT_TRUE(h.mode().has_value());
+  EXPECT_DOUBLE_EQ(*h.mode(), 3.5);
+}
+
+TEST(QuantileSketchTest, EmptyReturnsZero) {
+  QuantileSketch q;
+  EXPECT_DOUBLE_EQ(q.quantile(0.5), 0.0);
+}
+
+TEST(QuantileSketchTest, MedianAndExtremes) {
+  QuantileSketch q;
+  for (int i = 1; i <= 101; ++i) q.add(i);
+  EXPECT_DOUBLE_EQ(q.median(), 51.0);
+  EXPECT_DOUBLE_EQ(q.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.quantile(1.0), 101.0);
+}
+
+TEST(QuantileSketchTest, InterpolatesBetweenOrderStatistics) {
+  QuantileSketch q;
+  q.add(0.0);
+  q.add(10.0);
+  EXPECT_DOUBLE_EQ(q.quantile(0.25), 2.5);
+}
+
+TEST(QuantileSketchTest, QuantileClampsArgument) {
+  QuantileSketch q;
+  q.add(3.0);
+  q.add(4.0);
+  EXPECT_DOUBLE_EQ(q.quantile(-1.0), 3.0);
+  EXPECT_DOUBLE_EQ(q.quantile(2.0), 4.0);
+}
+
+TEST(FitLineTest, PerfectLine) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 * i - 7.0);
+  }
+  const auto fit = fit_line(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, -7.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(FitLineTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(fit_line({}, {}).slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit_line({1.0}, {2.0}).slope, 0.0);
+  // Vertical data (all same x) cannot be fit.
+  EXPECT_DOUBLE_EQ(fit_line({2.0, 2.0, 2.0}, {1.0, 2.0, 3.0}).slope, 0.0);
+}
+
+TEST(FitLineTest, NegativeSlopeDetectsDecline) {
+  // The integration tests use fit_line to assert the post-knee throughput
+  // decline, so the sign convention matters.
+  const auto fit = fit_line({84, 90, 95, 98}, {4.9, 4.0, 3.2, 2.8});
+  EXPECT_LT(fit.slope, 0.0);
+}
+
+}  // namespace
+}  // namespace wlan::util

@@ -1,0 +1,61 @@
+#include "util/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wlan {
+namespace {
+
+using namespace wlan::literals;
+
+TEST(MicrosecondsTest, DefaultIsZero) {
+  EXPECT_EQ(Microseconds{}.count(), 0);
+}
+
+TEST(MicrosecondsTest, CountRoundTrips) {
+  EXPECT_EQ(Microseconds{1234}.count(), 1234);
+  EXPECT_EQ(Microseconds{-7}.count(), -7);
+}
+
+TEST(MicrosecondsTest, SecondsConversion) {
+  EXPECT_DOUBLE_EQ(Microseconds{1'500'000}.seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(Microseconds{0}.seconds(), 0.0);
+}
+
+TEST(MicrosecondsTest, Comparisons) {
+  EXPECT_LT(usec(1), usec(2));
+  EXPECT_EQ(usec(5), usec(5));
+  EXPECT_GT(msec(1), usec(999));
+}
+
+TEST(MicrosecondsTest, Arithmetic) {
+  EXPECT_EQ((usec(10) + usec(5)).count(), 15);
+  EXPECT_EQ((usec(10) - usec(5)).count(), 5);
+  EXPECT_EQ((usec(10) * 3).count(), 30);
+  EXPECT_EQ((3 * usec(10)).count(), 30);
+}
+
+TEST(MicrosecondsTest, CompoundAssignment) {
+  Microseconds t{100};
+  t += usec(50);
+  EXPECT_EQ(t.count(), 150);
+  t -= usec(100);
+  EXPECT_EQ(t.count(), 50);
+}
+
+TEST(MicrosecondsTest, HelperFactories) {
+  EXPECT_EQ(msec(2).count(), 2'000);
+  EXPECT_EQ(sec(3).count(), 3'000'000);
+}
+
+TEST(MicrosecondsTest, Literals) {
+  EXPECT_EQ((15_us).count(), 15);
+  EXPECT_EQ((2_ms).count(), 2'000);
+  EXPECT_EQ((1_s).count(), 1'000'000);
+}
+
+TEST(MicrosecondsTest, NeverIsLargerThanAnyPracticalTime) {
+  EXPECT_GT(Microseconds::never(), sec(100L * 365 * 24 * 3600));
+}
+
+}  // namespace
+}  // namespace wlan

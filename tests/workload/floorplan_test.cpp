@@ -1,0 +1,110 @@
+#include "workload/floorplan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace wlan::workload {
+namespace {
+
+TEST(FloorplanTest, DayHasSeparateBallrooms) {
+  const auto plan = ietf_floorplan(SessionKind::kDay);
+  std::set<std::string> names;
+  for (const auto& room : plan.rooms) names.insert(room.name);
+  EXPECT_TRUE(names.count("A"));
+  EXPECT_TRUE(names.count("E"));
+  EXPECT_TRUE(names.count("G"));
+  EXPECT_TRUE(names.count("Foyer"));
+  EXPECT_FALSE(names.count("Ballroom"));
+}
+
+TEST(FloorplanTest, PlenaryMergesBallrooms) {
+  const auto plan = ietf_floorplan(SessionKind::kPlenary);
+  std::set<std::string> names;
+  for (const auto& room : plan.rooms) names.insert(room.name);
+  EXPECT_TRUE(names.count("Ballroom"));
+  EXPECT_FALSE(names.count("E"));
+}
+
+TEST(FloorplanTest, ApCountsHonoured) {
+  const auto plan = ietf_floorplan(SessionKind::kDay, 23, 15);
+  EXPECT_EQ(plan.aps.size(), 38u);
+  int main = 0, other = 0;
+  for (const auto& ap : plan.aps) {
+    (ap.position.floor == 0 ? main : other)++;
+  }
+  EXPECT_EQ(main, 23);
+  EXPECT_EQ(other, 15);
+}
+
+TEST(FloorplanTest, ChannelsRoundRobinOverOrthogonalSet) {
+  const auto plan = ietf_floorplan(SessionKind::kDay, 9, 0);
+  int counts[3] = {0, 0, 0};
+  for (const auto& ap : plan.aps) {
+    ASSERT_TRUE(ap.channel == 1 || ap.channel == 6 || ap.channel == 11);
+    ++counts[ap.channel == 1 ? 0 : (ap.channel == 6 ? 1 : 2)];
+  }
+  EXPECT_EQ(counts[0], 3);
+  EXPECT_EQ(counts[1], 3);
+  EXPECT_EQ(counts[2], 3);
+}
+
+TEST(FloorplanTest, ThreeSniffersAlways) {
+  EXPECT_EQ(ietf_floorplan(SessionKind::kDay).sniffers.size(), 3u);
+  EXPECT_EQ(ietf_floorplan(SessionKind::kPlenary).sniffers.size(), 3u);
+}
+
+TEST(FloorplanTest, PlenarySniffersCoLocated) {
+  const auto plan = ietf_floorplan(SessionKind::kPlenary);
+  EXPECT_DOUBLE_EQ(plan.sniffers[0].x, plan.sniffers[1].x);
+  EXPECT_DOUBLE_EQ(plan.sniffers[1].y, plan.sniffers[2].y);
+}
+
+TEST(FloorplanTest, DaySniffersSpreadThroughMonitoredRoom) {
+  const auto plan = ietf_floorplan(SessionKind::kDay);
+  const Room& room = plan.rooms[plan.monitored_room];
+  EXPECT_EQ(room.name, "E");
+  for (const auto& s : plan.sniffers) {
+    EXPECT_GE(s.x, room.x);
+    EXPECT_LE(s.x, room.x + room.w);
+    EXPECT_GE(s.y, room.y);
+    EXPECT_LE(s.y, room.y + room.h);
+  }
+  // Not co-located during the day.
+  EXPECT_NE(plan.sniffers[0].x, plan.sniffers[1].x);
+}
+
+TEST(FloorplanTest, RandomPositionStaysInRoom) {
+  const auto plan = ietf_floorplan(SessionKind::kDay);
+  util::Rng rng(3);
+  for (const auto& room : plan.rooms) {
+    for (int i = 0; i < 100; ++i) {
+      const auto pos = random_position_in(room, rng);
+      EXPECT_GE(pos.x, room.x);
+      EXPECT_LE(pos.x, room.x + room.w);
+      EXPECT_GE(pos.y, room.y);
+      EXPECT_LE(pos.y, room.y + room.h);
+      EXPECT_EQ(pos.floor, room.floor);
+    }
+  }
+}
+
+TEST(FloorplanTest, AsciiRenderShowsMarkers) {
+  const auto plan = ietf_floorplan(SessionKind::kDay);
+  const auto art = render_ascii(plan);
+  EXPECT_NE(art.find('o'), std::string::npos);   // APs
+  EXPECT_NE(art.find('S'), std::string::npos);   // sniffers
+  EXPECT_NE(art.find("Day"), std::string::npos);
+  EXPECT_NE(render_ascii(ietf_floorplan(SessionKind::kPlenary)).find("Plenary"),
+            std::string::npos);
+}
+
+TEST(FloorplanTest, RoomDimensionsMatchPaperFeet) {
+  const auto plan = ietf_floorplan(SessionKind::kDay);
+  const Room& a = plan.rooms[0];
+  EXPECT_NEAR(a.w, 71 * 0.3048, 1e-9);
+  EXPECT_NEAR(a.h, 39 * 0.3048, 1e-9);
+}
+
+}  // namespace
+}  // namespace wlan::workload
