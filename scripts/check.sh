@@ -1,0 +1,9 @@
+#!/usr/bin/env sh
+# Tier-1 verify, exactly as written in ROADMAP.md:
+#   cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j
+# Run from the repo root (or anywhere; we cd to the repo first).
+set -e
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j

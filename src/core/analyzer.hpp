@@ -11,8 +11,10 @@
 //   * acceptance-delay samples per category (Fig. 15),
 //   * RTS/CTS counts (Fig. 7) and per-sender fairness inputs (§6.1).
 //
+// Layer contract (core): analyzers consume a trace::Trace and nothing else.
 // The analyzer never reads simulator ground truth; everything is inferred
-// from the capture the way the authors inferred it from tethereal logs.
+// from the capture the way the authors inferred it from tethereal logs, so
+// the same code runs unchanged on real pcap captures (example_trace_tool).
 #pragma once
 
 #include <array>

@@ -1,5 +1,9 @@
 // Per-AP activity ranking (Fig. 4a) and the associated-user time series
 // (Fig. 4b), computed from a capture alone.
+//
+// Association is inferred the way the paper infers it (§5): a client is
+// counted toward the AP whose BSSID its data frames carry, with beacons
+// identifying which senders are APs in the first place.
 #pragma once
 
 #include <cstdint>

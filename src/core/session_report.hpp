@@ -1,5 +1,10 @@
 // One-call session report: everything the paper's §5-§6 reports about a
 // capture, as a structured summary plus a human-readable rendering.
+//
+// This is the top of the core layer — it runs TraceAnalyzer, the
+// congestion classifier, and the unrecorded-frame estimator over one
+// capture and folds the results into a single struct, which is what
+// example_trace_tool and the table benches print.
 #pragma once
 
 #include <string>

@@ -1,5 +1,7 @@
 // Fixed-rate controller — the "no adaptation" baseline for the ablation the
-// paper's conclusion argues for.
+// paper's conclusion argues for (§7: under congestion, staying at a high
+// rate beats ARF-style downshifting because losses are collisions, not
+// channel errors).
 #pragma once
 
 #include "rate/rate_controller.hpp"

@@ -5,6 +5,11 @@
 // detrimental under congestion because it cannot distinguish collision
 // losses from channel-error losses.  This interface lets benches swap the
 // policy (the ablation the paper could not run on proprietary firmware).
+//
+// Layer contract (rate): controllers are pure per-link policy objects —
+// success/failure feedback in, next attempt's phy::Rate out — with no MAC
+// or simulator dependencies, constructed through make_controller() so
+// stations and ablation benches can swap policies via ControllerConfig.
 #pragma once
 
 #include <memory>

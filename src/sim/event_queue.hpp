@@ -1,5 +1,11 @@
 // Discrete-event scheduler: a binary heap of (time, sequence) keyed events
 // with O(1) lazy cancellation.
+//
+// The (time, sequence) key makes execution order total and deterministic:
+// ties at the same microsecond run in scheduling order, so a simulation is
+// reproducible from its seed alone.  Cancellation only marks the id; the
+// heap entry is dropped when popped, keeping cancel O(1) at the cost of
+// dead entries — fine for MAC timeout churn where most timers fire.
 #pragma once
 
 #include <cstdint>

@@ -20,7 +20,19 @@ struct NetworkConfig {
   phy::PropagationConfig propagation;
   mac::TimingProfile timing_profile = mac::TimingProfile::kPaper;
   std::uint64_t seed = 1;
-  std::vector<std::uint8_t> channels = {1, 6, 11};
+  // Non-overlapping 802.11b channels, as deployed at the IETF meeting.
+  // Built element-wise rather than from a braced list to sidestep a GCC 12
+  // -Wmaybe-uninitialized false positive on the initializer_list backing
+  // array when this constructor is inlined at -O2.
+  std::vector<std::uint8_t> channels = default_channels();
+
+  static std::vector<std::uint8_t> default_channels() {
+    std::vector<std::uint8_t> v(3);
+    v[0] = 1;
+    v[1] = 6;
+    v[2] = 11;
+    return v;
+  }
   /// APs transmit hotter than client cards (enterprise APs run ~20 dBm
   /// against ~15 dBm PCMCIA radios), which keeps the ACK/beacon return
   /// path alive toward fringe clients.

@@ -1,4 +1,17 @@
 // Simulation kernel: the clock plus the event queue.
+//
+// Layer contract (sim): everything above the PHY/MAC models runs as
+// callbacks scheduled here; time only advances by executing events, so a
+// run is deterministic given the scenario seed.  The sim layer exists to
+// *produce captures* — sniffer nodes observe the medium and emit the
+// trace::CaptureRecord streams that stand in for the paper's RFMon
+// sniffers (§4) — while the analysis layer (core) is forbidden from
+// reaching back into simulator state.
+//
+// The kernel is deliberately minimal: schedule at an absolute time (`at`),
+// relative (`in`), cancel, and run until a deadline.  Scheduling in the
+// past clamps to `now` rather than throwing, because retry/timeout races
+// in the MAC model legitimately produce zero-delay reschedules.
 #pragma once
 
 #include "sim/event_queue.hpp"

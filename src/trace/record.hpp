@@ -7,6 +7,11 @@
 //
 // A TxRecord is simulator ground truth (one per transmission *attempt*) that
 // no real sniffer could produce; tests use it to validate the estimators.
+//
+// Layer contract (trace): this layer is the boundary between producers
+// (sim sniffers, pcap/CSV readers) and consumers (core analyzers).  Both
+// sides speak time-sorted std::vector<CaptureRecord>; neither may depend on
+// the other, which is what lets the core analyzers run on real captures.
 #pragma once
 
 #include <cstdint>

@@ -1,5 +1,10 @@
 // Small CSV writer used by benches to dump figure series next to the
 // human-readable tables (so results can be re-plotted).
+//
+// Quoting is minimal on purpose: values are numbers or identifier-like
+// strings produced by this repo, never untrusted input.  The reader half
+// lives in trace/trace_io.hpp, which parses captures exported by this
+// writer or by tethereal-style tools.
 #pragma once
 
 #include <fstream>

@@ -1,5 +1,9 @@
 // Minimal leveled logger.  Simulation code logs through this so benches can
 // silence it; no global iostream state is touched.
+//
+// Layer contract (util): this layer depends on nothing else in the repo —
+// it is the root of the dependency DAG (docs/ARCHITECTURE.md) and must
+// stay free of phy/mac/sim/core includes.
 #pragma once
 
 #include <cstdio>

@@ -1,5 +1,10 @@
 // Streaming statistics and histogram utilities shared by the analysis layer
 // and the benches.
+//
+// These back the paper's aggregation style: per-second samples are binned
+// by measured utilization, then summarized as mean/median/percentiles per
+// bin (§6).  Everything is single-pass and allocation-light so the benches
+// can afford millions of samples.
 #pragma once
 
 #include <cstddef>

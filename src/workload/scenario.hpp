@@ -1,5 +1,12 @@
 // Scenario builders: the IETF day/plenary sessions and the single-cell
 // load-sweep fixture the figure benches use.
+//
+// Layer contract (workload): a scenario composes a floorplan, a user
+// population with traffic models, and a sim::NetworkConfig, runs the
+// simulation, and returns the *sniffer capture* (plus ground truth for
+// tests).  This is the only layer that drives sim; everything downstream
+// consumes the returned trace.  New scenarios plug in here — see
+// docs/ARCHITECTURE.md ("Extension points").
 #pragma once
 
 #include <memory>

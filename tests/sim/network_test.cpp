@@ -20,7 +20,7 @@ TEST(NetworkTest, ChannelLookup) {
   EXPECT_EQ(net.channel(1).number(), 1);
   EXPECT_EQ(net.channel(6).number(), 6);
   EXPECT_EQ(net.channel(11).number(), 11);
-  EXPECT_THROW(net.channel(3), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(net.channel(3)), std::out_of_range);
 }
 
 TEST(NetworkTest, AddressesAreUnique) {
