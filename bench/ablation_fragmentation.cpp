@@ -5,6 +5,10 @@
 // the trade-off in our substrate: on a bit-error-dominated fringe link,
 // fragments survive where full frames die; on a clean contended channel,
 // fragmentation only adds header/ACK overhead.
+//
+// This bench stays off the exp runner on purpose: the fragmentation
+// threshold is a station-level knob with no CellConfig/spec axis, and both
+// fixtures below hand-build their networks around it.
 #include <cmath>
 #include <cstdio>
 

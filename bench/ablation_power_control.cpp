@@ -4,50 +4,48 @@
 // dynamically change the transmit power such that data frames are
 // consistently transmitted at high data rates."  This bench runs a
 // weak-link-heavy cell at three contention levels, with and without client
-// TPC.  The outcome is contention-dependent — and that nuance supports the
-// paper's *other* point: when losses are collision-dominated, no amount of
-// SNR fixing rescues loss-triggered rate adaptation.
+// TPC — the power-margin axis of one spec.  The outcome is
+// contention-dependent — and that nuance supports the paper's *other*
+// point: when losses are collision-dominated, no amount of SNR fixing
+// rescues loss-triggered rate adaptation.
 #include <cstdio>
 
 #include "common.hpp"
 #include "util/ascii_chart.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wlan;
+  const auto args = exp::parse_bench_args(
+      argc, argv, "Transmit-power-control ablation (paper S7 remedy)");
+
+  exp::ExperimentSpec spec;
+  spec.name = "ablation_power_control";
+  spec.base_seed = 8800;
+  spec.seeds_per_point = 3;
+  spec.duration_s = 15.0;
+  spec.power_margins = {-1.0, 3.0};  // off / boost to 11 Mbps SNR + 3 dB
+  spec.timings = {"standard"};
+  spec.loads = {{6, 60.0, 0.5, 2}, {8, 60.0, 0.5, 2}, {14, 60.0, 0.5, 2}};
+  spec.base.profile.closed_loop = true;
+  spec.base.profile.uplink_fraction = 0.8;
+  exp::apply_args(args, spec);
+
   std::printf("Transmit-power-control ablation: 50%% weak links, ARF, "
-              "15 s x 3 seeds per point\n\n");
+              "%.0f s x %d seeds per point\n\n",
+              spec.duration_s, spec.seeds_per_point);
+
+  const auto res = exp::run_experiment(spec, exp::runner_options(args));
+
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"Users", "TPC", "Util %", "Goodput Mbps", "1M busy s",
                   "11M busy s"});
-
-  for (int users : {6, 8, 14}) {
-    for (double margin : {-1.0, 3.0}) {
-      util::Accumulator um, good, bt1, bt11;
-      for (int seed = 1; seed <= 3; ++seed) {
-        workload::CellConfig cell;
-        cell.seed = 8800 + seed;
-        cell.num_users = users;
-        cell.per_user_pps = 60.0;
-        cell.far_fraction = 0.5;
-        cell.auto_power_margin_db = margin;
-        cell.duration_s = 15.0;
-        cell.timing = mac::TimingProfile::kStandard;
-        cell.profile.closed_loop = true;
-        cell.profile.window = 2;
-        cell.profile.uplink_fraction = 0.8;
-        const auto result = workload::run_cell(cell);
-        const auto a = core::TraceAnalyzer{}.analyze(result.trace);
-        for (const auto& s : a.seconds) {
-          um.add(s.utilization());
-          good.add(s.goodput_mbps());
-          bt1.add(s.cbt_us_by_rate[0] / 1e6);
-          bt11.add(s.cbt_us_by_rate[3] / 1e6);
-        }
-      }
-      rows.push_back({std::to_string(users), margin < 0 ? "off" : "on",
-                      util::fmt(um.mean()), util::fmt(good.mean()),
-                      util::fmt(bt1.mean()), util::fmt(bt11.mean())});
-    }
+  for (const auto& p : exp::summarize_by_point(res.runs)) {
+    rows.push_back({std::to_string(p.rep.users),
+                    p.rep.power_margin_db < 0 ? "off" : "on",
+                    util::fmt(p.mean_util_pct),
+                    util::fmt(p.mean_goodput_mbps),
+                    util::fmt(p.busy_s_by_rate[phy::rate_index(phy::Rate::kR1)]),
+                    util::fmt(p.busy_s_by_rate[phy::rate_index(phy::Rate::kR11)])});
   }
   std::fputs(util::text_table(rows).c_str(), stdout);
   std::printf(

@@ -2,58 +2,48 @@
 // paper's conclusion calls for).
 //
 // Runs the saturated cell under ARF / AARF / SNR-threshold / fixed-11 /
-// fixed-1 and reports goodput, per-rate airtime and delivery ratio.
+// fixed-1 and reports goodput, per-rate airtime and delivery ratio.  The
+// grid is one declarative spec — the policy axis × seed repeats — executed
+// on the parallel runner.
 #include <cstdio>
 
 #include "common.hpp"
 #include "util/ascii_chart.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wlan;
-  const std::vector<rate::Policy> policies = {
-      rate::Policy::kArf, rate::Policy::kAarf, rate::Policy::kSnrThreshold,
-      rate::Policy::kFixed11, rate::Policy::kFixed1};
+  const auto args = exp::parse_bench_args(
+      argc, argv, "Rate-adaptation ablation: policy axis on a saturated cell");
+
+  exp::ExperimentSpec spec;
+  spec.name = "ablation_rate_adaptation";
+  spec.base_seed = 7000;
+  spec.seeds_per_point = 3;
+  spec.duration_s = 20.0;
+  spec.rate_policies = {"arf", "aarf", "snr", "fixed11", "fixed1"};
+  spec.timings = {"standard"};
+  spec.loads = {{14, 60.0, 0.3, 3}};
+  spec.base.profile.closed_loop = true;
+  spec.base.profile.uplink_fraction = 0.5;
+  exp::apply_args(args, spec);
 
   std::printf("Rate-adaptation ablation: saturated cell, 14 users (30%% weak "
-              "links), 20 s x 3 seeds per policy\n\n");
+              "links), %.0f s x %d seeds per policy\n\n",
+              spec.duration_s, spec.seeds_per_point);
+
+  const auto res = exp::run_experiment(spec, exp::runner_options(args));
+
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"Policy", "Util %", "Thr Mbps", "Good Mbps", "1M busy s",
                   "11M busy s", "delivery %"});
-
-  for (rate::Policy policy : policies) {
-    util::Accumulator um, thr, good, bt1, bt11;
-    std::uint64_t tx = 0, acked = 0;
-    for (int seed = 1; seed <= 3; ++seed) {
-      workload::CellConfig cell;
-      cell.seed = 7000 + seed;
-      cell.num_users = 14;
-      cell.per_user_pps = 60.0;
-      cell.far_fraction = 0.3;
-      cell.duration_s = 20.0;
-      cell.timing = mac::TimingProfile::kStandard;
-      cell.rate.policy = policy;
-      cell.profile.closed_loop = true;
-      cell.profile.window = 3;
-      cell.profile.uplink_fraction = 0.5;
-      const auto result = workload::run_cell(cell);
-      const core::TraceAnalyzer analyzer;
-      const auto a = analyzer.analyze(result.trace);
-      for (const auto& s : a.seconds) {
-        um.add(s.utilization());
-        thr.add(s.throughput_mbps());
-        good.add(s.goodput_mbps());
-        bt1.add(s.cbt_us_by_rate[phy::rate_index(phy::Rate::kR1)] / 1e6);
-        bt11.add(s.cbt_us_by_rate[phy::rate_index(phy::Rate::kR11)] / 1e6);
-      }
-      for (const auto& [addr, st] : a.senders) {
-        tx += st.data_tx;
-        acked += st.data_acked;
-      }
-    }
-    rows.push_back({std::string(rate::policy_name(policy)), util::fmt(um.mean()),
-                    util::fmt(thr.mean()), util::fmt(good.mean()),
-                    util::fmt(bt1.mean()), util::fmt(bt11.mean()),
-                    util::fmt(tx ? 100.0 * acked / tx : 0.0)});
+  for (const auto& p : exp::summarize_by_point(res.runs)) {
+    rows.push_back(
+        {std::string(rate::policy_name(exp::parse_policy(p.rep.rate_policy))),
+         util::fmt(p.mean_util_pct), util::fmt(p.mean_throughput_mbps),
+         util::fmt(p.mean_goodput_mbps),
+         util::fmt(p.busy_s_by_rate[phy::rate_index(phy::Rate::kR1)]),
+         util::fmt(p.busy_s_by_rate[phy::rate_index(phy::Rate::kR11)]),
+         util::fmt(p.delivery_pct())});
   }
   std::fputs(util::text_table(rows).c_str(), stdout);
   std::printf("\nPaper (S7): loss-triggered adaptation responds to collision\n"

@@ -2,55 +2,50 @@
 //
 // The paper observes that when only a few nodes use RTS/CTS, those nodes
 // are denied fair access under congestion.  This bench sweeps the adoption
-// fraction from 0% to 100% and reports both sides' delivery ratios and the
-// channel's goodput.
+// fraction from 0% to 100% — one spec with the RTS/CTS axis, per-point
+// figure accumulators giving each fraction its own fairness split.
 #include <cstdio>
 
 #include "common.hpp"
 #include "util/ascii_chart.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wlan;
-  std::printf("RTS/CTS adoption ablation: saturated cell, 16 users, 20 s x 2 "
-              "seeds per point\n\n");
+  const auto args = exp::parse_bench_args(
+      argc, argv, "RTS/CTS adoption ablation on a saturated cell");
+
+  exp::ExperimentSpec spec;
+  spec.name = "ablation_rtscts";
+  spec.base_seed = 8100;
+  spec.seeds_per_point = 2;
+  spec.duration_s = 20.0;
+  spec.rtscts_fractions = {0.0, 0.1, 0.25, 0.5, 1.0};
+  spec.timings = {"standard"};
+  spec.loads = {{16, 60.0, 0.25, 3}};
+  spec.base.profile.closed_loop = true;
+  spec.base.profile.uplink_fraction = 0.5;
+  exp::apply_args(args, spec);
+
+  std::printf("RTS/CTS adoption ablation: saturated cell, 16 users, %.0f s x "
+              "%d seeds per point\n\n", spec.duration_s, spec.seeds_per_point);
+
+  auto opt = exp::runner_options(args);
+  opt.per_point_figures = true;  // §6.1 fairness split per adoption fraction
+  const auto res = exp::run_experiment(spec, opt);
+
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"Adoption %", "RTS users del %", "Others del %",
                   "Goodput Mbps", "RTS/s", "CTS/s"});
-
-  for (double fraction : {0.0, 0.1, 0.25, 0.5, 1.0}) {
-    core::FigureAccumulator acc;
-    const core::TraceAnalyzer analyzer;
-    util::Accumulator good, rts_s, cts_s;
-    for (int seed = 1; seed <= 2; ++seed) {
-      workload::CellConfig cell;
-      cell.seed = 8100 + seed;
-      cell.num_users = 16;
-      cell.per_user_pps = 60.0;
-      cell.far_fraction = 0.25;
-      cell.rtscts_fraction = fraction;
-      cell.duration_s = 20.0;
-      cell.timing = mac::TimingProfile::kStandard;
-      cell.profile.closed_loop = true;
-      cell.profile.window = 3;
-      cell.profile.uplink_fraction = 0.5;
-      const auto result = workload::run_cell(cell);
-      const auto a = analyzer.analyze(result.trace);
-      acc.add(a);
-      for (const auto& s : a.seconds) {
-        good.add(s.goodput_mbps());
-        rts_s.add(static_cast<double>(s.rts));
-        cts_s.add(static_cast<double>(s.cts));
-      }
-    }
-    const auto fair = acc.rts_fairness();
-    rows.push_back({util::fmt(fraction * 100),
+  for (const auto& p : exp::summarize_by_point(res.runs)) {
+    const auto fair = res.per_point[p.point_index].rts_fairness();
+    rows.push_back({util::fmt(p.rep.rtscts_fraction * 100),
                     fair.rts_senders ? util::fmt(fair.rts_delivery_ratio * 100)
                                      : std::string("-"),
                     fair.other_senders
                         ? util::fmt(fair.other_delivery_ratio * 100)
                         : std::string("-"),
-                    util::fmt(good.mean()), util::fmt(rts_s.mean()),
-                    util::fmt(cts_s.mean())});
+                    util::fmt(p.mean_goodput_mbps), util::fmt(p.rts_per_s()),
+                    util::fmt(p.cts_per_s())});
   }
   std::fputs(util::text_table(rows).c_str(), stdout);
   std::printf("\nPaper (S6.1): RTS/CTS users depend on two extra control\n"

@@ -4,60 +4,46 @@
 // The paper quotes Jun et al.'s parameters; real Airespace/IETF hardware
 // used the standard ones.  The analyzer always applies Table 2; this bench
 // shows how much the *radio-side* profile matters for the congestion
-// dynamics.
+// dynamics.  One spec: timing axis × two populations × seed repeats.
 #include <cstdio>
 
 #include "common.hpp"
 #include "util/ascii_chart.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wlan;
+  const auto args = exp::parse_bench_args(
+      argc, argv, "Timing-profile ablation: paper vs standard 802.11b");
+
+  exp::ExperimentSpec spec;
+  spec.name = "ablation_timing_profile";
+  spec.base_seed = 9500;
+  spec.seeds_per_point = 2;
+  spec.duration_s = 20.0;
+  spec.timings = {"paper", "standard"};
+  spec.loads = {{8, 60.0, 0.2, 3}, {16, 60.0, 0.2, 3}};
+  spec.base.profile.closed_loop = true;
+  spec.base.profile.uplink_fraction = 0.5;
+  exp::apply_args(args, spec);
+
+  const auto res = exp::run_experiment(spec, exp::runner_options(args));
+
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"Radio timing", "Users", "Util %", "Goodput Mbps",
                   "Collision %", "Retry frames %"});
-
-  for (auto profile : {mac::TimingProfile::kPaper, mac::TimingProfile::kStandard}) {
-    for (int users : {8, 16}) {
-      util::Accumulator um, good;
-      double coll_pct = 0.0;
-      std::uint64_t retries = 0, data = 0;
-      for (int seed = 1; seed <= 2; ++seed) {
-        workload::CellConfig cell;
-        cell.seed = 9500 + seed;
-        cell.num_users = users;
-        cell.per_user_pps = 60.0;
-        cell.far_fraction = 0.2;
-        cell.duration_s = 20.0;
-        cell.timing = profile;
-        cell.profile.closed_loop = true;
-        cell.profile.window = 3;
-        cell.profile.uplink_fraction = 0.5;
-        const auto result = workload::run_cell(cell);
-        const core::TraceAnalyzer analyzer;
-        const auto a = analyzer.analyze(result.trace);
-        for (const auto& s : a.seconds) {
-          um.add(s.utilization());
-          good.add(s.goodput_mbps());
-          data += s.data;
-          for (std::uint32_t r : s.retries_by_rate) retries += r;
-        }
-        coll_pct += result.medium_transmissions
-                        ? 100.0 * result.medium_collisions /
-                              result.medium_transmissions
-                        : 0.0;
-      }
-      rows.push_back(
-          {profile == mac::TimingProfile::kPaper ? "paper (slot 10, CW<=255)"
-                                                 : "standard (slot 20, CW<=1023)",
-           std::to_string(users), util::fmt(um.mean()), util::fmt(good.mean()),
-           util::fmt(coll_pct / 2),
-           util::fmt(data ? 100.0 * retries / data : 0.0)});
-    }
+  for (const auto& p : exp::summarize_by_point(res.runs)) {
+    rows.push_back({p.rep.timing == "paper" ? "paper (slot 10, CW<=255)"
+                                            : "standard (slot 20, CW<=1023)",
+                    std::to_string(p.rep.users), util::fmt(p.mean_util_pct),
+                    util::fmt(p.mean_goodput_mbps),
+                    util::fmt(p.collision_pct), util::fmt(p.retry_pct())});
   }
   std::fputs(util::text_table(rows).c_str(), stdout);
-  std::printf("\nThe paper profile's 10 us slots waste half the idle time per\n"
-              "backoff slot (higher utilization and goodput at equal load);\n"
-              "the standard profile's deeper backoff absorbs contention\n"
-              "bursts with fewer retries at larger populations.\n");
+  std::printf("\nThe paper profile's 10 us slots halve the idle cost of every\n"
+              "backoff slot, so it posts higher utilization and goodput at\n"
+              "equal load.  The standard profile spends twice the airtime per\n"
+              "slot, and at these populations its deeper CW ceiling does not\n"
+              "recoup the difference -- each recovery round drains the same\n"
+              "contention more slowly, so retry shares stay higher.\n");
   return 0;
 }

@@ -1,92 +1,74 @@
 #include "common.hpp"
 
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "util/csv.hpp"
 
 namespace wlan::bench {
 
-std::vector<workload::CellConfig> standard_sweep(const SweepOptions& opt) {
-  std::vector<workload::CellConfig> cells;
+exp::ExperimentSpec standard_spec(const std::string& name,
+                                  const SweepOptions& opt) {
+  exp::ExperimentSpec spec;
+  spec.name = name;
+  spec.scenario = "cell";
+  spec.base_seed = opt.base_seed;
+  spec.seeds_per_point = opt.seeds_per_point;
+  spec.duration_s = opt.duration_s;
+  spec.rtscts_fractions = {opt.rtscts_fraction};
+  spec.rate_policies = {std::string(exp::policy_key(opt.rate.policy))};
+  // Radios use the paper's Table 2 contention profile (10 us slots,
+  // CW 31..255) — the values the paper attributes to the venue hardware;
+  // the ablation_timing_profile bench compares against standard 802.11b.
+  spec.timings = {"paper"};
 
-  auto base = [&](std::uint64_t seed) {
-    workload::CellConfig cell;
-    cell.seed = seed;
-    cell.duration_s = opt.duration_s;
-    cell.rtscts_fraction = opt.rtscts_fraction;
-    cell.rate = opt.rate;
-    // Radios use the paper's Table 2 contention profile (10 us slots,
-    // CW 31..255) — the values the paper attributes to the venue hardware;
-    // the ablation_timing_profile bench compares against standard 802.11b.
-    cell.timing = mac::TimingProfile::kPaper;
-    cell.profile.closed_loop = true;
-    cell.profile.uplink_fraction = 0.5;
-    // Conference mix skewed toward full-MTU transfers (the paper's peak
-    // throughput implies XL-11 dominance).
-    cell.profile.size_weights = {0.35, 0.10, 0.08, 0.47};
-    return cell;
-  };
+  spec.base.rate = opt.rate;
+  spec.base.profile.closed_loop = true;
+  spec.base.profile.uplink_fraction = 0.5;
+  // Conference mix skewed toward full-MTU transfers (the paper's peak
+  // throughput implies XL-11 dominance).
+  spec.base.profile.size_weights = {0.35, 0.10, 0.08, 0.47};
 
+  spec.loads.clear();
   // Regime A: population of lightly loaded users (20-60% bins).
-  std::uint64_t salt = 0;
   for (double pps : {4.0, 7.0, 10.0, 14.0, 18.0}) {
-    for (int s = 0; s < opt.seeds_per_point; ++s) {
-      auto cell = base(opt.base_seed + 1000 + salt++);
-      cell.num_users = 24;
-      cell.per_user_pps = pps;
-      cell.far_fraction = 0.15;
-      cell.profile.window = 1;
-      cells.push_back(cell);
-    }
+    spec.loads.push_back({24, pps, 0.15, 1});
   }
-
   // Regime B: few saturated users filling the channel; the weak-link share
   // grows with the population so the 1 Mbps airtime flood — and with it the
   // post-knee throughput decline — arrives at the top of the range.
-  struct Point {
-    int users;
-    double far;
-  };
-  for (const Point p : {Point{4, 0.0}, Point{5, 0.0}, Point{6, 0.0},
-                        Point{8, 0.03}, Point{10, 0.06}, Point{12, 0.10},
-                        Point{14, 0.15}, Point{16, 0.22}, Point{18, 0.30},
-                        Point{20, 0.40}}) {
-    for (int s = 0; s < opt.seeds_per_point; ++s) {
-      auto cell = base(opt.base_seed + 2000 + salt++);
-      cell.num_users = p.users;
-      cell.per_user_pps = 60.0;
-      cell.far_fraction = p.far;
-      cell.profile.window = 3;
-      cells.push_back(cell);
-    }
+  for (const auto& [users, far] :
+       {std::pair{4, 0.0}, {5, 0.0}, {6, 0.0}, {8, 0.03}, {10, 0.06},
+        {12, 0.10}, {14, 0.15}, {16, 0.22}, {18, 0.30}, {20, 0.40}}) {
+    spec.loads.push_back({users, 60.0, far, 3});
   }
-  return cells;
+  return spec;
 }
 
-core::FigureAccumulator run_sweep(const std::vector<workload::CellConfig>& cells,
-                                  bool verbose) {
-  core::FigureAccumulator acc;
-  const core::TraceAnalyzer analyzer;
-  for (const auto& cell : cells) {
-    const auto result = workload::run_cell(cell);
-    const auto analysis = analyzer.analyze(result.trace);
-    acc.add(analysis);
-    if (verbose) {
-      util::Accumulator u;
-      for (const auto& s : analysis.seconds) u.add(s.utilization());
-      std::printf("  cell users=%-3d pps=%-4.0f far=%.2f -> mean util %.1f%%, "
-                  "%zu frames\n",
-                  cell.num_users, cell.per_user_pps, cell.far_fraction,
-                  u.mean(), result.trace.records.size());
-    }
-  }
-  return acc;
+exp::ExperimentSpec standard_spec(const std::string& name,
+                                  const exp::BenchArgs& args,
+                                  const SweepOptions& opt) {
+  auto spec = standard_spec(name, opt);
+  exp::apply_args(args, spec);
+  return spec;
 }
 
-void emit_figure(const core::FigureSeries& fig, const std::string& csv_name) {
+core::FigureAccumulator run_sweep(const exp::ExperimentSpec& spec,
+                                  const exp::BenchArgs& args) {
+  return exp::run_experiment(spec, exp::runner_options(args)).figures;
+}
+
+void emit_figure(const core::FigureSeries& fig, const std::string& csv_name,
+                 const std::string& out_dir) {
   std::fputs(core::render_figure(fig).c_str(), stdout);
 
+  std::filesystem::create_directories(out_dir);
+  const std::string path =
+      (std::filesystem::path(out_dir) / csv_name).string();
   std::vector<std::string> header{fig.x_label};
   for (const auto& s : fig.series) header.push_back(s.name);
-  util::CsvWriter csv(csv_name, header);
+  util::CsvWriter csv(path, header);
   for (std::size_t i = 0; i < fig.x.size(); ++i) {
     std::vector<double> row{fig.x[i]};
     bool any = false;
@@ -97,7 +79,18 @@ void emit_figure(const core::FigureSeries& fig, const std::string& csv_name) {
     }
     if (any) csv.row(row);
   }
-  std::printf("series written to %s\n\n", csv_name.c_str());
+  std::printf("series written to %s\n\n", path.c_str());
+}
+
+void emit_figure(const core::FigureSeries& fig, const std::string& csv_name,
+                 const exp::BenchArgs& args) {
+  std::string name = csv_name;
+  if (args.only_run) {
+    const auto dot = name.rfind('.');
+    name.insert(dot == std::string::npos ? name.size() : dot,
+                "_run" + std::to_string(*args.only_run));
+  }
+  emit_figure(fig, name, args.out_dir);
 }
 
 }  // namespace wlan::bench

@@ -1,5 +1,6 @@
 // Shared bench harness: the standard utilization sweep every figure bench
-// feeds from, and small printing helpers.
+// feeds from — expressed as a declarative exp::ExperimentSpec and executed
+// on the parallel experiment runner — plus small printing helpers.
 //
 // The sweep is a composite of two operating regimes of the single-channel
 // cell fixture (see DESIGN.md):
@@ -10,37 +11,54 @@
 //      throughput knee and the post-knee decline driven by rate adaptation.
 // Every per-second sample from every run is binned by that second's
 // measured utilization, exactly as the paper aggregates (§6).
+//
+// Every driver shares the exp::parse_bench_args flags: --threads, --seeds,
+// --duration, --out-dir, --only, --quiet.  Progress goes to stderr; figures
+// and tables stay on stdout so output pipes cleanly.
 #pragma once
 
-#include <cstdio>
 #include <string>
-#include <vector>
 
-#include "core/analyzer.hpp"
 #include "core/report.hpp"
-#include "util/csv.hpp"
-#include "workload/scenario.hpp"
+#include "exp/args.hpp"
+#include "exp/runner.hpp"
+#include "exp/spec.hpp"
 
 namespace wlan::bench {
 
 struct SweepOptions {
-  std::uint64_t base_seed = 1;
+  /// 62 (as in IETF 62) parks the detected knee on the paper's 84-85%.
+  std::uint64_t base_seed = 62;
   double rtscts_fraction = 0.05;
   rate::ControllerConfig rate;  ///< ARF by default, like commodity radios
   double duration_s = 18.0;
   int seeds_per_point = 3;
 };
 
-/// The frozen standard sweep grid.
-[[nodiscard]] std::vector<workload::CellConfig> standard_sweep(
-    const SweepOptions& opt = {});
+/// The frozen standard sweep grid as a declarative spec (15 load points,
+/// seeds_per_point repeats each).  `name` labels the manifest files.
+[[nodiscard]] exp::ExperimentSpec standard_spec(const std::string& name,
+                                                const SweepOptions& opt = {});
 
-/// Runs every cell and accumulates per-second stats into the figure builder.
-/// Prints one progress line per run when `verbose`.
-[[nodiscard]] core::FigureAccumulator run_sweep(
-    const std::vector<workload::CellConfig>& cells, bool verbose = false);
+/// Same, with the shared CLI flags (--seeds, --duration) already applied.
+[[nodiscard]] exp::ExperimentSpec standard_spec(const std::string& name,
+                                                const exp::BenchArgs& args,
+                                                const SweepOptions& opt = {});
 
-/// Renders the figure to stdout and writes its series to `<name>.csv`.
-void emit_figure(const core::FigureSeries& fig, const std::string& csv_name);
+/// Runs the spec on the parallel runner and returns the merged figures.
+/// Per-run progress lines go to stderr when args.progress.
+[[nodiscard]] core::FigureAccumulator run_sweep(const exp::ExperimentSpec& spec,
+                                                const exp::BenchArgs& args);
+
+/// Renders the figure to stdout and writes its series to
+/// `<out_dir>/<csv_name>`.
+void emit_figure(const core::FigureSeries& fig, const std::string& csv_name,
+                 const std::string& out_dir = ".");
+
+/// Same, but an --only replay writes `<stem>_run<N>.csv` so it never
+/// clobbers the full sweep's series in the same out-dir (mirrors the
+/// runner's manifest naming).
+void emit_figure(const core::FigureSeries& fig, const std::string& csv_name,
+                 const exp::BenchArgs& args);
 
 }  // namespace wlan::bench

@@ -8,12 +8,16 @@
 #include "common.hpp"
 #include "core/theoretical.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wlan;
-  std::printf("Figure 6 bench: standard utilization sweep (%zu cells)\n\n",
-              bench::standard_sweep().size());
-  const auto acc = bench::run_sweep(bench::standard_sweep());
-  bench::emit_figure(acc.fig06_throughput_goodput(), "fig06.csv");
+  const auto args = exp::parse_bench_args(
+      argc, argv, "Figure 6: throughput and goodput vs utilization");
+  auto spec = bench::standard_spec("fig06", args);
+  std::printf("Figure 6 bench: standard utilization sweep (%zu runs)\n\n",
+              exp::expand(spec).size());
+  const auto acc = bench::run_sweep(spec, args);
+  bench::emit_figure(acc.fig06_throughput_goodput(), "fig06.csv",
+                     args);
   std::printf("Detected saturation knee: %.0f%% utilization (paper: 84%%)\n",
               acc.knee_utilization());
   std::printf("Theoretical max (Jun et al., full-MTU @ 11 Mbps): %.2f Mbps — "

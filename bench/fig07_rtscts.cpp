@@ -9,16 +9,19 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wlan;
+  const auto args = exp::parse_bench_args(
+      argc, argv, "Figure 7: RTS/CTS frames per second vs utilization");
   // A visible minority of RTS/CTS users, as at the IETF.
   bench::SweepOptions opt;
   opt.rtscts_fraction = 0.10;
-  const auto cells = bench::standard_sweep(opt);
+  auto spec = bench::standard_spec("fig07", args, opt);
   std::printf("Figure 7 bench: sweep with %.0f%% of users using RTS/CTS "
-              "(%zu cells)\n\n", opt.rtscts_fraction * 100, cells.size());
-  const auto acc = bench::run_sweep(cells);
-  bench::emit_figure(acc.fig07_rts_cts(), "fig07.csv");
+              "(%zu runs)\n\n", opt.rtscts_fraction * 100,
+              exp::expand(spec).size());
+  const auto acc = bench::run_sweep(spec, args);
+  bench::emit_figure(acc.fig07_rts_cts(), "fig07.csv", args);
 
   const auto fair = acc.rts_fairness();
   std::printf("S6.1 fairness: %zu RTS/CTS senders deliver %.1f%% of their "

@@ -7,10 +7,13 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wlan;
+  const auto args = exp::parse_bench_args(
+      argc, argv, "Figure 8: busy-time share per rate vs utilization");
+  const auto spec = bench::standard_spec("fig08", args);
   std::printf("Figure 8 bench: standard utilization sweep\n\n");
-  const auto acc = bench::run_sweep(bench::standard_sweep());
-  bench::emit_figure(acc.fig08_busytime_share(), "fig08.csv");
+  const auto acc = bench::run_sweep(spec, args);
+  bench::emit_figure(acc.fig08_busytime_share(), "fig08.csv", args);
   return 0;
 }

@@ -8,10 +8,13 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wlan;
+  const auto args = exp::parse_bench_args(
+      argc, argv, "Figure 9: bytes per second per rate vs utilization");
+  const auto spec = bench::standard_spec("fig09", args);
   std::printf("Figure 9 bench: standard utilization sweep\n\n");
-  const auto acc = bench::run_sweep(bench::standard_sweep());
-  bench::emit_figure(acc.fig09_bytes_per_rate(), "fig09.csv");
+  const auto acc = bench::run_sweep(spec, args);
+  bench::emit_figure(acc.fig09_bytes_per_rate(), "fig09.csv", args);
   return 0;
 }

@@ -9,15 +9,20 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wlan;
+  const auto args = exp::parse_bench_args(
+      argc, argv, "Figures 10-13: frame transmissions by category");
+  const auto spec = bench::standard_spec("fig10_13", args);
   std::printf("Figures 10-13 bench: standard utilization sweep\n\n");
-  const auto acc = bench::run_sweep(bench::standard_sweep());
+  const auto acc = bench::run_sweep(spec, args);
   bench::emit_figure(acc.fig10_11_frames_of_class(core::SizeClass::kS),
-                     "fig10.csv");
+                     "fig10.csv", args);
   bench::emit_figure(acc.fig10_11_frames_of_class(core::SizeClass::kXL),
-                     "fig11.csv");
-  bench::emit_figure(acc.fig12_13_frames_at_rate(phy::Rate::kR1), "fig12.csv");
-  bench::emit_figure(acc.fig12_13_frames_at_rate(phy::Rate::kR11), "fig13.csv");
+                     "fig11.csv", args);
+  bench::emit_figure(acc.fig12_13_frames_at_rate(phy::Rate::kR1), "fig12.csv",
+                     args);
+  bench::emit_figure(acc.fig12_13_frames_at_rate(phy::Rate::kR11), "fig13.csv",
+                     args);
   return 0;
 }

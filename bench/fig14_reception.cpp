@@ -8,10 +8,14 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wlan;
+  const auto args = exp::parse_bench_args(
+      argc, argv, "Figure 14: first-attempt acknowledgments vs utilization");
+  const auto spec = bench::standard_spec("fig14", args);
   std::printf("Figure 14 bench: standard utilization sweep\n\n");
-  const auto acc = bench::run_sweep(bench::standard_sweep());
-  bench::emit_figure(acc.fig14_first_attempt_acked(), "fig14.csv");
+  const auto acc = bench::run_sweep(spec, args);
+  bench::emit_figure(acc.fig14_first_attempt_acked(), "fig14.csv",
+                     args);
   return 0;
 }

@@ -8,10 +8,13 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wlan;
+  const auto args = exp::parse_bench_args(
+      argc, argv, "Figure 15: acceptance delay vs utilization");
+  const auto spec = bench::standard_spec("fig15", args);
   std::printf("Figure 15 bench: standard utilization sweep\n\n");
-  const auto acc = bench::run_sweep(bench::standard_sweep());
-  bench::emit_figure(acc.fig15_acceptance_delay(), "fig15.csv");
+  const auto acc = bench::run_sweep(spec, args);
+  bench::emit_figure(acc.fig15_acceptance_delay(), "fig15.csv", args);
   return 0;
 }

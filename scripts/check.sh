@@ -1,9 +1,23 @@
 #!/usr/bin/env sh
 # Tier-1 verify, exactly as written in ROADMAP.md:
 #   cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j
+# plus a smoke run of one figure bench through the parallel experiment
+# runner (2 threads, tiny duration) so the bench/exp plumbing is exercised
+# on every check, not just the unit tests.
 # Run from the repo root (or anywhere; we cd to the repo first).
 set -e
 
 cd "$(dirname "$0")/.."
 
-cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j
+JOBS="${CTEST_PARALLEL_LEVEL:-$(nproc 2>/dev/null || echo 2)}"
+
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j "$JOBS")
+
+echo "smoke: bench_fig06_throughput_goodput --threads 2 --seeds 1 --duration 4"
+./build/bench_fig06_throughput_goodput --threads 2 --seeds 1 --duration 4 \
+    --quiet --out-dir build/smoke > /dev/null
+test -s build/smoke/fig06.csv
+test -s build/smoke/fig06_manifest.csv
+echo "smoke: OK (build/smoke/fig06_manifest.csv)"

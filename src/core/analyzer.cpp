@@ -4,6 +4,28 @@
 
 namespace wlan::core {
 
+void SecondStats::merge(const SecondStats& other) {
+  cbt_us += other.cbt_us;
+  bits_all += other.bits_all;
+  bits_good += other.bits_good;
+  data += other.data;
+  ack += other.ack;
+  rts += other.rts;
+  cts += other.cts;
+  beacon += other.beacon;
+  mgmt += other.mgmt;
+  for (std::size_t i = 0; i < phy::kNumRates; ++i) {
+    cbt_us_by_rate[i] += other.cbt_us_by_rate[i];
+    bytes_by_rate[i] += other.bytes_by_rate[i];
+    first_attempt_acked[i] += other.first_attempt_acked[i];
+    acked_by_rate[i] += other.acked_by_rate[i];
+    retries_by_rate[i] += other.retries_by_rate[i];
+  }
+  for (std::size_t c = 0; c < kNumCategories; ++c) {
+    tx_by_category[c] += other.tx_by_category[c];
+  }
+}
+
 namespace {
 
 /// Key for the pending-acceptance map: sender address + sequence number.

@@ -57,6 +57,11 @@ struct SecondStats {
   /// Retransmitted data frames per rate (retry flag set).
   std::array<std::uint32_t, phy::kNumRates> retries_by_rate{};
 
+  /// Folds another interval's tallies into this one (busy time, bits and
+  /// every counter; `second` keeps this interval's value).  Used to collapse
+  /// a whole run into one totals row and for parallel reductions.
+  void merge(const SecondStats& other);
+
   /// Eq. 8: percentage utilization (clamped to 100).
   [[nodiscard]] double utilization() const {
     const double pct = cbt_us / 1e6 * 100.0;

@@ -45,6 +45,30 @@ void FigureAccumulator::add(const AnalysisResult& a) {
   }
 }
 
+void FigureAccumulator::merge(const FigureAccumulator& other) {
+  seconds_ += other.seconds_;
+  throughput_.merge(other.throughput_);
+  goodput_.merge(other.goodput_);
+  rts_.merge(other.rts_);
+  cts_.merge(other.cts_);
+  for (std::size_t i = 0; i < phy::kNumRates; ++i) {
+    cbt_by_rate_[i].merge(other.cbt_by_rate_[i]);
+    bytes_by_rate_[i].merge(other.bytes_by_rate_[i]);
+    first_acked_[i].merge(other.first_acked_[i]);
+  }
+  for (std::size_t c = 0; c < kNumCategories; ++c) {
+    tx_by_category_[c].merge(other.tx_by_category_[c]);
+    acceptance_[c].merge(other.acceptance_[c]);
+  }
+  for (const auto& [addr, st] : other.senders_) {
+    SenderStats& agg = senders_[addr];
+    agg.data_tx += st.data_tx;
+    agg.data_acked += st.data_acked;
+    agg.rts_tx += st.rts_tx;
+    agg.uses_rtscts = agg.uses_rtscts || st.uses_rtscts;
+  }
+}
+
 FigureSeries FigureAccumulator::fig06_throughput_goodput(std::size_t min_n) const {
   FigureSeries fig;
   fig.title = "Figure 6: throughput and goodput (Mbps) vs channel utilization";

@@ -45,6 +45,12 @@ class FigureAccumulator {
   /// Absorbs one analyzed trace.
   void add(const AnalysisResult& analysis);
 
+  /// Folds another accumulator into this one (parallel sweep reduction).
+  /// Bit-exact reproducibility requires merging partials in a fixed order —
+  /// the exp runner merges per-run accumulators in grid-index order so the
+  /// result is independent of thread count and schedule.
+  void merge(const FigureAccumulator& other);
+
   /// Number of one-second intervals absorbed so far.
   [[nodiscard]] std::size_t seconds_absorbed() const { return seconds_; }
 

@@ -26,6 +26,13 @@ void UtilizationBinner::add(double utilization_pct, double value) {
   ++counts_[static_cast<std::size_t>(pct)];
 }
 
+void UtilizationBinner::merge(const UtilizationBinner& other) {
+  for (std::size_t i = 0; i < sums_.size(); ++i) {
+    sums_[i] += other.sums_[i];
+    counts_[i] += other.counts_[i];
+  }
+}
+
 double UtilizationBinner::mean(int pct, std::size_t min_count) const {
   if (pct < 0 || pct > 100) return std::numeric_limits<double>::quiet_NaN();
   const auto i = static_cast<std::size_t>(pct);

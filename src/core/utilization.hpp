@@ -26,6 +26,11 @@ class UtilizationBinner {
 
   void add(double utilization_pct, double value);
 
+  /// Folds another binner's sums/counts into this one (parallel reduction).
+  /// Merge order matters for bit-exact reproducibility: callers that need
+  /// deterministic output must merge partials in a fixed order.
+  void merge(const UtilizationBinner& other);
+
   /// Mean value in bin `pct`; NaN when the bin holds fewer than `min_count`
   /// seconds (matches the paper's practice of ignoring sparse utilizations).
   [[nodiscard]] double mean(int pct, std::size_t min_count = 1) const;

@@ -1,0 +1,93 @@
+#include "exp/args.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace wlan::exp {
+
+namespace {
+
+[[noreturn]] void usage(std::string_view what, int code) {
+  std::FILE* out = code == 0 ? stdout : stderr;
+  std::fprintf(out, "%.*s\n\n", static_cast<int>(what.size()), what.data());
+  std::fprintf(out,
+               "  --threads N     worker threads (default: all cores)\n"
+               "  --seeds N       seed repeats per grid point\n"
+               "  --duration S    per-run simulated seconds\n"
+               "  --out-dir DIR   where CSV series + manifests land (default .)\n"
+               "  --only RUN      replay one grid run (a manifest 'run' index)\n"
+               "  --quiet         no per-run progress on stderr\n"
+               "  --help          this text\n");
+  std::exit(code);
+}
+
+}  // namespace
+
+BenchArgs parse_bench_args(int argc, char** argv, std::string_view what) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+        usage(what, 2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--help" || flag == "-h") {
+      usage(what, 0);
+    } else if (flag == "--threads") {
+      args.threads = std::atoi(value());
+      if (args.threads < 1) {
+        std::fprintf(stderr, "--threads wants a positive integer\n");
+        usage(what, 2);
+      }
+    } else if (flag == "--seeds") {
+      args.seeds = std::atoi(value());
+      if (args.seeds < 1) {
+        std::fprintf(stderr, "--seeds wants a positive integer\n");
+        usage(what, 2);
+      }
+    } else if (flag == "--duration") {
+      args.duration_s = std::atof(value());
+      if (args.duration_s <= 0.0) {
+        std::fprintf(stderr, "--duration wants positive seconds\n");
+        usage(what, 2);
+      }
+    } else if (flag == "--out-dir") {
+      args.out_dir = value();
+    } else if (flag == "--only") {
+      const char* v = value();
+      char* end = nullptr;
+      const long long parsed = std::strtoll(v, &end, 10);
+      if (end == v || *end != '\0' || parsed < 0) {
+        std::fprintf(stderr, "--only wants a non-negative run index\n");
+        usage(what, 2);
+      }
+      args.only_run = static_cast<std::size_t>(parsed);
+    } else if (flag == "--quiet") {
+      args.progress = false;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      usage(what, 2);
+    }
+  }
+  return args;
+}
+
+void apply_args(const BenchArgs& args, ExperimentSpec& spec) {
+  if (args.seeds > 0) spec.seeds_per_point = args.seeds;
+  if (args.duration_s > 0.0) spec.duration_s = args.duration_s;
+}
+
+RunnerOptions runner_options(const BenchArgs& args) {
+  RunnerOptions opt;
+  opt.threads = args.threads;
+  opt.progress = args.progress;
+  opt.out_dir = args.out_dir;
+  opt.only_run = args.only_run;
+  return opt;
+}
+
+}  // namespace wlan::exp

@@ -1,0 +1,36 @@
+// Shared command-line flags for every bench/example that drives the
+// experiment runner: --threads, --seeds, --duration, --out-dir, --only,
+// --quiet.  One tiny parser so all drivers speak the same dialect.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "exp/runner.hpp"
+#include "exp/spec.hpp"
+
+namespace wlan::exp {
+
+struct BenchArgs {
+  int threads = 0;          ///< 0 = all hardware threads
+  int seeds = 0;            ///< 0 = keep the spec's default
+  double duration_s = 0.0;  ///< 0 = keep the spec's default
+  std::string out_dir = ".";
+  std::optional<std::size_t> only_run;
+  bool progress = true;     ///< per-run lines on stderr (--quiet disables)
+};
+
+/// Parses the shared flags.  Prints usage (with `what` as the first line)
+/// and exits 0 on --help; prints the offending flag and exits 2 on a
+/// malformed or unknown argument.
+[[nodiscard]] BenchArgs parse_bench_args(int argc, char** argv,
+                                         std::string_view what);
+
+/// Folds the overriding flags (--seeds, --duration) into a spec.
+void apply_args(const BenchArgs& args, ExperimentSpec& spec);
+
+/// RunnerOptions matching the parsed flags.
+[[nodiscard]] RunnerOptions runner_options(const BenchArgs& args);
+
+}  // namespace wlan::exp

@@ -1,0 +1,128 @@
+#include "exp/registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "workload/floorplan.hpp"
+
+namespace wlan::exp {
+
+namespace {
+
+/// Single-cell fixture: the workhorse of the figure sweeps.
+RunOutput run_cell_scenario(const RunSpec& run) {
+  const workload::CellResult result = workload::run_cell(run.cell);
+  RunOutput out;
+  out.analysis = core::TraceAnalyzer{}.analyze(result.trace);
+  out.unrecorded = core::estimate_unrecorded(result.trace).totals;
+  out.medium_transmissions = result.medium_transmissions;
+  out.medium_collisions = result.medium_collisions;
+  out.sniffer_offered = result.sniffer.offered;
+  out.sniffer_captured = result.sniffer.captured;
+  return out;
+}
+
+/// IETF sessions.  The load axis maps onto the session knobs: `users` is
+/// population scale ×100 (10 users ≙ scale 0.1), `pps` the per-user mean
+/// packet rate, `window` the closed-loop window.
+RunOutput run_session_scenario(const RunSpec& run, workload::SessionKind kind) {
+  workload::ScenarioConfig cfg;
+  cfg.seed = run.seed;
+  cfg.duration_s = run.cell.duration_s;
+  cfg.scale = run.load.users / 100.0;
+  cfg.profile = run.cell.profile;
+  cfg.profile.mean_pps = run.load.pps;
+  cfg.rtscts_fraction = run.rtscts_fraction;
+  cfg.rate = run.cell.rate;
+  cfg.timing = run.cell.timing;
+
+  const workload::SessionResult result = workload::run_session(cfg, kind);
+  RunOutput out;
+  out.analysis = core::TraceAnalyzer{}.analyze(result.trace);
+  out.unrecorded = core::estimate_unrecorded(result.trace).totals;
+  return out;
+}
+
+}  // namespace
+
+ScenarioRegistry::ScenarioRegistry() {
+  add("cell", run_cell_scenario);
+  add("ietf-day", [](const RunSpec& run) {
+    return run_session_scenario(run, workload::SessionKind::kDay);
+  });
+  add("ietf-plenary", [](const RunSpec& run) {
+    return run_session_scenario(run, workload::SessionKind::kPlenary);
+  });
+}
+
+ScenarioRegistry& ScenarioRegistry::instance() {
+  static ScenarioRegistry registry;
+  return registry;
+}
+
+void ScenarioRegistry::add(std::string name, ScenarioFn fn) {
+  if (!factories_.emplace(std::move(name), std::move(fn)).second) {
+    throw std::invalid_argument("ScenarioRegistry: duplicate scenario name");
+  }
+}
+
+bool ScenarioRegistry::contains(const std::string& name) const {
+  return factories_.count(name) != 0;
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, fn] : factories_) out.push_back(name);
+  return out;  // std::map iterates sorted
+}
+
+RunOutput ScenarioRegistry::run(const std::string& name,
+                                const RunSpec& run) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    throw std::invalid_argument("ScenarioRegistry: unknown scenario \"" +
+                                name + "\"");
+  }
+  return it->second(run);
+}
+
+rate::Policy parse_policy(std::string_view key) {
+  if (key == "arf") return rate::Policy::kArf;
+  if (key == "aarf") return rate::Policy::kAarf;
+  if (key == "snr") return rate::Policy::kSnrThreshold;
+  if (key == "fixed1") return rate::Policy::kFixed1;
+  if (key == "fixed11") return rate::Policy::kFixed11;
+  throw std::invalid_argument("unknown rate policy \"" + std::string(key) +
+                              "\" (known: arf aarf snr fixed1 fixed11)");
+}
+
+std::string_view policy_key(rate::Policy policy) {
+  switch (policy) {
+    case rate::Policy::kArf: return "arf";
+    case rate::Policy::kAarf: return "aarf";
+    case rate::Policy::kSnrThreshold: return "snr";
+    case rate::Policy::kFixed1: return "fixed1";
+    case rate::Policy::kFixed11: return "fixed11";
+  }
+  return "?";
+}
+
+std::vector<std::string> policy_keys() {
+  return {"arf", "aarf", "snr", "fixed1", "fixed11"};
+}
+
+mac::TimingProfile parse_timing(std::string_view key) {
+  if (key == "paper") return mac::TimingProfile::kPaper;
+  if (key == "standard") return mac::TimingProfile::kStandard;
+  throw std::invalid_argument("unknown timing profile \"" + std::string(key) +
+                              "\" (known: paper standard)");
+}
+
+std::string_view timing_key(mac::TimingProfile profile) {
+  return profile == mac::TimingProfile::kPaper ? "paper" : "standard";
+}
+
+std::vector<std::string> timing_keys() { return {"paper", "standard"}; }
+
+}  // namespace wlan::exp

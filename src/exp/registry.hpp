@@ -1,0 +1,76 @@
+// String-keyed registries: scenarios runnable by name, and the name maps
+// for the rate-policy and timing-profile grid axes.
+//
+// The scenario registry is how benches and tools select what a RunSpec
+// executes at runtime ("cell", "ietf-day", "ietf-plenary") and how new
+// workloads plug into the experiment machinery without touching the runner:
+// register a factory once and every spec, manifest and CLI flag picks it up.
+//
+// Registration is not thread-safe; register before run_experiment spawns
+// workers (the runner touches instance() once up front, so the built-ins
+// are always safely constructed).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/analyzer.hpp"
+#include "core/unrecorded.hpp"
+#include "exp/spec.hpp"
+#include "mac/timing.hpp"
+#include "rate/rate_controller.hpp"
+
+namespace wlan::exp {
+
+/// What one run hands back for aggregation and the manifest.  The analysis
+/// is capture-derived (the paper's methodology); the remaining fields are
+/// simulator/sniffer ground truth a scenario may report (zeros when it
+/// cannot, e.g. multi-sniffer sessions).
+struct RunOutput {
+  core::AnalysisResult analysis;
+  core::UnrecordedTotals unrecorded;     ///< §4.4 estimate on the capture
+  std::uint64_t medium_transmissions = 0;
+  std::uint64_t medium_collisions = 0;
+  std::uint64_t sniffer_offered = 0;
+  std::uint64_t sniffer_captured = 0;
+};
+
+using ScenarioFn = std::function<RunOutput(const RunSpec&)>;
+
+class ScenarioRegistry {
+ public:
+  /// The process-wide registry, pre-populated with the built-in scenarios.
+  static ScenarioRegistry& instance();
+
+  /// Registers a scenario; throws std::invalid_argument on a duplicate name.
+  void add(std::string name, ScenarioFn fn);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> names() const;  ///< sorted
+
+  /// Runs one resolved grid run; throws std::invalid_argument on an
+  /// unknown scenario name.
+  [[nodiscard]] RunOutput run(const std::string& name, const RunSpec& run) const;
+
+ private:
+  ScenarioRegistry();
+  std::map<std::string, ScenarioFn> factories_;
+};
+
+// --- axis name maps --------------------------------------------------------
+// Lower-case stable keys used on spec axes, CLI flags and manifest rows
+// (rate::policy_name's display strings are uppercase and stay for tables).
+
+[[nodiscard]] rate::Policy parse_policy(std::string_view key);  ///< throws
+[[nodiscard]] std::string_view policy_key(rate::Policy policy);
+[[nodiscard]] std::vector<std::string> policy_keys();
+
+[[nodiscard]] mac::TimingProfile parse_timing(std::string_view key);  ///< throws
+[[nodiscard]] std::string_view timing_key(mac::TimingProfile profile);
+[[nodiscard]] std::vector<std::string> timing_keys();
+
+}  // namespace wlan::exp

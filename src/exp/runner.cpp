@@ -1,0 +1,194 @@
+#include "exp/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <filesystem>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "exp/registry.hpp"
+
+namespace wlan::exp {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// One run's completed state, filled by a worker, consumed (in grid order)
+/// by the merging thread.
+struct Slot {
+  core::FigureAccumulator figures;
+  RunRecord record;
+  std::exception_ptr error;  ///< a scenario factory threw
+  std::atomic<bool> done{false};
+};
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentSpec& spec,
+                                const RunnerOptions& opt) {
+  const auto t0 = Clock::now();
+
+  std::vector<RunSpec> runs = expand(spec);
+  const std::size_t full_points = grid_points(spec);
+  if (opt.only_run) {
+    if (*opt.only_run >= runs.size()) {
+      throw std::out_of_range("run_experiment: --only " +
+                              std::to_string(*opt.only_run) + " but grid has " +
+                              std::to_string(runs.size()) + " runs");
+    }
+    runs = {runs[*opt.only_run]};  // keeps its full-grid indices
+  }
+  const std::size_t n = runs.size();
+
+  // Touch the registry before spawning workers so its lazy construction
+  // (and any built-in registration) happens on one thread, and fail an
+  // unknown scenario name here, catchable, rather than inside a worker.
+  ScenarioRegistry& registry = ScenarioRegistry::instance();
+  if (!registry.contains(spec.scenario)) {
+    throw std::invalid_argument("run_experiment: unknown scenario \"" +
+                                spec.scenario + "\"");
+  }
+
+  ExperimentResult result;
+  if (opt.per_point_figures) result.per_point.resize(full_points);
+  result.runs.reserve(n);
+  if (n == 0) return result;
+
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  std::size_t threads = opt.threads > 0 ? static_cast<std::size_t>(opt.threads)
+                                        : static_cast<std::size_t>(hw);
+  threads = std::min(threads, n);
+
+  // Work-stealing deques: runs are dealt round-robin; everyone consumes
+  // lowest-index-first (own queue and steals alike) so completions track
+  // the merger's strictly ascending drain order — per-run results are
+  // merged and freed almost as soon as they land instead of piling up.
+  std::vector<std::deque<std::size_t>> queues(threads);
+  std::vector<std::mutex> queue_mu(threads);
+  for (std::size_t i = 0; i < n; ++i) queues[i % threads].push_back(i);
+
+  std::vector<Slot> slots(n);
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  std::mutex progress_mu;
+  std::atomic<std::size_t> completed{0};
+
+  auto worker = [&](std::size_t me) {
+    for (;;) {
+      std::size_t idx = 0;
+      bool got = false;
+      {
+        std::lock_guard lock(queue_mu[me]);
+        if (!queues[me].empty()) {
+          idx = queues[me].front();
+          queues[me].pop_front();
+          got = true;
+        }
+      }
+      for (std::size_t k = 1; !got && k < threads; ++k) {
+        const std::size_t victim = (me + k) % threads;
+        std::lock_guard lock(queue_mu[victim]);
+        if (!queues[victim].empty()) {
+          idx = queues[victim].front();
+          queues[victim].pop_front();
+          got = true;
+        }
+      }
+      if (!got) return;
+
+      const RunSpec& run = runs[idx];
+      Slot& slot = slots[idx];
+      const auto run_t0 = Clock::now();
+      double wall_ms = 0.0;
+      try {
+        const RunOutput out = registry.run(run.scenario, run);
+        wall_ms = ms_since(run_t0);
+        slot.figures.add(out.analysis);
+        slot.record = make_record(run, out, wall_ms);
+      } catch (...) {
+        // Never let an exception escape the thread (std::terminate); park
+        // it in the slot for the merging thread to rethrow.
+        slot.error = std::current_exception();
+      }
+      {
+        std::lock_guard lock(done_mu);
+        slot.done.store(true, std::memory_order_release);
+      }
+      done_cv.notify_one();
+
+      if (opt.progress && !slot.error) {
+        const std::size_t c = completed.fetch_add(1) + 1;
+        std::lock_guard lock(progress_mu);
+        std::fprintf(stderr,
+                     "  [%zu/%zu] %s users=%-3d pps=%-4.0f far=%.2f "
+                     "%s/%s seed=%llu -> util %.1f%%, %llu frames (%.0f ms)\n",
+                     c, n, run.scenario.c_str(), run.load.users, run.load.pps,
+                     run.load.far_fraction, run.rate_policy.c_str(),
+                     run.timing.c_str(),
+                     static_cast<unsigned long long>(run.seed),
+                     slot.record.mean_util_pct,
+                     static_cast<unsigned long long>(slot.record.frames),
+                     wall_ms);
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+
+  // Streaming reduction on the calling thread: strictly ascending run index
+  // keeps the merge order — and with it every accumulated double — fixed.
+  std::exception_ptr first_error;
+  for (std::size_t i = 0; i < n; ++i) {
+    Slot& slot = slots[i];
+    {
+      std::unique_lock lock(done_mu);
+      done_cv.wait(lock, [&] {
+        return slot.done.load(std::memory_order_acquire);
+      });
+    }
+    if (slot.error) {
+      if (!first_error) first_error = slot.error;
+      continue;
+    }
+    if (first_error) continue;  // stop aggregating, but drain every slot
+    result.figures.merge(slot.figures);
+    if (opt.per_point_figures) {
+      result.per_point[runs[i].point_index].merge(slot.figures);
+    }
+    result.runs.push_back(std::move(slot.record));
+    slot.figures = core::FigureAccumulator{};  // release per-run memory early
+  }
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+
+  result.wall_s = ms_since(t0) / 1e3;
+
+  if (!opt.out_dir.empty()) {
+    namespace fs = std::filesystem;
+    fs::create_directories(opt.out_dir);
+    // An --only replay gets its own files so it never clobbers the full
+    // sweep's manifest in the same out-dir.
+    std::string stem = (fs::path(opt.out_dir) / spec.name).string();
+    if (opt.only_run) stem += "_run" + std::to_string(*opt.only_run);
+    write_manifest_csv(stem + "_manifest.csv", result.runs,
+                       opt.timing_in_manifest);
+    write_manifest_json(stem + "_manifest.json", result.runs,
+                        opt.timing_in_manifest);
+  }
+  return result;
+}
+
+}  // namespace wlan::exp

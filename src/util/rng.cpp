@@ -20,6 +20,11 @@ std::uint64_t splitmix64(std::uint64_t& state) {
 
 }  // namespace
 
+std::uint64_t mix_seed(std::uint64_t base, std::uint64_t index) {
+  std::uint64_t state = base + index * 0x9e3779b97f4a7c15ULL;
+  return splitmix64(state);
+}
+
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& word : s_) word = splitmix64(sm);

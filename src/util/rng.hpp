@@ -59,4 +59,11 @@ class Rng {
   std::array<std::uint64_t, 4> s_{};
 };
 
+/// Element `index` of the SplitMix64 stream seeded with `base`, in O(1)
+/// (the stream's state advances by a fixed odd constant, so any element is
+/// directly addressable).  This is how sweeps derive independent, stable
+/// per-run seeds: the seed of grid point i never changes when points are
+/// added after it, reordered across threads, or re-run in isolation.
+[[nodiscard]] std::uint64_t mix_seed(std::uint64_t base, std::uint64_t index);
+
 }  // namespace wlan::util

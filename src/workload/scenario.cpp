@@ -119,6 +119,13 @@ std::vector<DataSetInfo> Scenario::table1() {
   };
 }
 
+SessionResult run_session(const ScenarioConfig& config, SessionKind kind) {
+  auto scenario = kind == SessionKind::kDay ? Scenario::day(config)
+                                            : Scenario::plenary(config);
+  scenario.run();
+  return {scenario.name(), scenario.network().merged_trace()};
+}
+
 CellResult run_cell(const CellConfig& config) {
   sim::NetworkConfig net_cfg;
   net_cfg.seed = config.seed;

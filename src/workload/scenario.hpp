@@ -69,6 +69,17 @@ class Scenario {
   Microseconds duration_{0};
 };
 
+/// A completed session run, reduced to what the analysis layer consumes.
+struct SessionResult {
+  std::string name;
+  trace::Trace trace;  ///< all sniffer captures, merged and time-sorted
+};
+
+/// Builds a day/plenary scenario, runs the full duration, and hands back
+/// the merged capture — the one-call path registries and tools use when
+/// they don't need to poke at the live network.
+SessionResult run_session(const ScenarioConfig& config, SessionKind kind);
+
 /// Single-collision-domain fixture for utilization sweeps (Figures 6-15):
 /// one channel, a couple of APs, `num_users` always-on users.  Sweeping
 /// `num_users` (or per_user_pps) moves the cell across the whole 30-99%

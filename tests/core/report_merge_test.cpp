@@ -1,0 +1,148 @@
+// merge() on the aggregation types: UtilizationBinner, SecondStats and
+// FigureAccumulator — the primitives the parallel experiment runner's
+// ordered reduction is built on.
+#include <gtest/gtest.h>
+
+#include "core/analyzer.hpp"
+#include "core/report.hpp"
+#include "core/utilization.hpp"
+
+namespace wlan::core {
+namespace {
+
+TEST(UtilizationBinnerMergeTest, SumsAndCountsFold) {
+  UtilizationBinner a, b;
+  a.add(50.0, 2.0);
+  a.add(50.0, 4.0);
+  b.add(50.0, 6.0);
+  b.add(80.0, 10.0);
+
+  a.merge(b);
+  EXPECT_EQ(a.count(50), 3u);
+  EXPECT_DOUBLE_EQ(a.mean(50), 4.0);
+  EXPECT_EQ(a.count(80), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(80), 10.0);
+  // b untouched
+  EXPECT_EQ(b.count(50), 1u);
+}
+
+TEST(SecondStatsMergeTest, CountersAndBusyTimeFold) {
+  SecondStats a, b;
+  a.second = 3;
+  a.cbt_us = 400000.0;
+  a.bits_all = 1000;
+  a.bits_good = 900;
+  a.data = 10;
+  a.ack = 9;
+  a.rts = 2;
+  a.cts = 1;
+  a.cbt_us_by_rate[0] = 150000.0;
+  a.tx_by_category[5] = 4;
+  a.retries_by_rate[3] = 2;
+
+  b.second = 9;  // must NOT overwrite a.second
+  b.cbt_us = 100000.0;
+  b.bits_all = 500;
+  b.bits_good = 400;
+  b.data = 5;
+  b.beacon = 7;
+  b.cbt_us_by_rate[0] = 50000.0;
+  b.tx_by_category[5] = 1;
+  b.first_attempt_acked[2] = 3;
+
+  a.merge(b);
+  EXPECT_EQ(a.second, 3);
+  EXPECT_DOUBLE_EQ(a.cbt_us, 500000.0);
+  EXPECT_EQ(a.bits_all, 1500u);
+  EXPECT_EQ(a.bits_good, 1300u);
+  EXPECT_EQ(a.data, 15u);
+  EXPECT_EQ(a.ack, 9u);
+  EXPECT_EQ(a.beacon, 7u);
+  EXPECT_DOUBLE_EQ(a.cbt_us_by_rate[0], 200000.0);
+  EXPECT_EQ(a.tx_by_category[5], 5u);
+  EXPECT_EQ(a.retries_by_rate[3], 2u);
+  EXPECT_EQ(a.first_attempt_acked[2], 3u);
+  EXPECT_DOUBLE_EQ(a.utilization(), 50.0);
+}
+
+/// Fabricates an analysis whose seconds carry integer-valued metrics so
+/// double sums are exact and merge vs sequential add compare bit-for-bit.
+AnalysisResult fake_analysis(int n_seconds, double cbt_us, std::uint64_t bits,
+                             mac::Addr sender, bool rtscts) {
+  AnalysisResult a;
+  for (int t = 0; t < n_seconds; ++t) {
+    SecondStats s;
+    s.second = t;
+    s.cbt_us = cbt_us;
+    s.bits_all = bits;
+    s.bits_good = bits / 2;
+    s.rts = rtscts ? 3 : 0;
+    s.cts = rtscts ? 2 : 0;
+    s.cbt_us_by_rate[3] = cbt_us / 2;
+    s.bytes_by_rate[3] = bits / 8;
+    s.first_attempt_acked[3] = 4;
+    s.tx_by_category[7] = 6;
+    a.seconds.push_back(s);
+
+    AcceptanceSample sample;
+    sample.second = t;
+    sample.category = 7;
+    sample.delay_us = 2000.0;
+    a.acceptance.push_back(sample);
+  }
+  SenderStats st;
+  st.data_tx = 100;
+  st.data_acked = 90;
+  st.rts_tx = rtscts ? 30 : 0;
+  st.uses_rtscts = rtscts;
+  a.senders[sender] = st;
+  return a;
+}
+
+TEST(FigureAccumulatorMergeTest, MergeEqualsSequentialAdd) {
+  const auto a1 = fake_analysis(5, 400000.0, 1000000, 11, false);
+  const auto a2 = fake_analysis(7, 800000.0, 3000000, 22, true);
+
+  FigureAccumulator seq;
+  seq.add(a1);
+  seq.add(a2);
+
+  FigureAccumulator left, right;
+  left.add(a1);
+  right.add(a2);
+  left.merge(right);
+
+  EXPECT_EQ(left.seconds_absorbed(), seq.seconds_absorbed());
+  EXPECT_EQ(core::render_figure(left.fig06_throughput_goodput(1)),
+            core::render_figure(seq.fig06_throughput_goodput(1)));
+  EXPECT_EQ(core::render_figure(left.fig08_busytime_share(1)),
+            core::render_figure(seq.fig08_busytime_share(1)));
+  EXPECT_EQ(core::render_figure(left.fig14_first_attempt_acked(1)),
+            core::render_figure(seq.fig14_first_attempt_acked(1)));
+  EXPECT_EQ(core::render_figure(left.fig15_acceptance_delay(1)),
+            core::render_figure(seq.fig15_acceptance_delay(1)));
+
+  const auto fair_merged = left.rts_fairness();
+  const auto fair_seq = seq.rts_fairness();
+  EXPECT_EQ(fair_merged.rts_senders, fair_seq.rts_senders);
+  EXPECT_EQ(fair_merged.other_senders, fair_seq.other_senders);
+  EXPECT_DOUBLE_EQ(fair_merged.rts_delivery_ratio, fair_seq.rts_delivery_ratio);
+  EXPECT_DOUBLE_EQ(fair_merged.other_delivery_ratio,
+                   fair_seq.other_delivery_ratio);
+}
+
+TEST(FigureAccumulatorMergeTest, MergeIntoEmptyIsIdentity) {
+  const auto a = fake_analysis(4, 600000.0, 2000000, 5, true);
+  FigureAccumulator direct;
+  direct.add(a);
+
+  FigureAccumulator empty, from;
+  from.add(a);
+  empty.merge(from);
+  EXPECT_EQ(core::render_figure(empty.fig07_rts_cts(1)),
+            core::render_figure(direct.fig07_rts_cts(1)));
+  EXPECT_EQ(empty.seconds_absorbed(), direct.seconds_absorbed());
+}
+
+}  // namespace
+}  // namespace wlan::core

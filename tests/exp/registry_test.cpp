@@ -1,0 +1,67 @@
+// Scenario/controller registry: every registered name builds and runs a
+// tiny configuration, and the axis name maps round-trip.
+#include "exp/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "exp/spec.hpp"
+
+namespace wlan::exp {
+namespace {
+
+TEST(RegistryTest, BuiltInScenariosAreRegistered) {
+  const auto names = ScenarioRegistry::instance().names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "cell");          // names() sorts
+  EXPECT_EQ(names[1], "ietf-day");
+  EXPECT_EQ(names[2], "ietf-plenary");
+  EXPECT_TRUE(ScenarioRegistry::instance().contains("cell"));
+  EXPECT_FALSE(ScenarioRegistry::instance().contains("ballroom"));
+}
+
+TEST(RegistryTest, EveryRegisteredNameRunsATinyConfig) {
+  for (const std::string& name : ScenarioRegistry::instance().names()) {
+    ExperimentSpec spec;
+    spec.scenario = name;
+    spec.base_seed = 7;
+    spec.duration_s = 5.0;
+    spec.loads = {{6, 10.0, 0.0, 1}};  // sessions read users as scale x100
+    spec.base.warmup_s = 1.0;
+    const auto runs = expand(spec);
+    ASSERT_EQ(runs.size(), 1u);
+
+    const RunOutput out = ScenarioRegistry::instance().run(name, runs[0]);
+    EXPECT_GT(out.analysis.seconds.size(), 0u) << name;
+    EXPECT_GT(out.analysis.total_frames, 0u) << name;
+  }
+}
+
+TEST(RegistryTest, UnknownScenarioAndDuplicateRegistrationThrow) {
+  const auto runs = expand(ExperimentSpec{});
+  EXPECT_THROW(ScenarioRegistry::instance().run("nope", runs[0]),
+               std::invalid_argument);
+  EXPECT_THROW(
+      ScenarioRegistry::instance().add("cell", [](const RunSpec&) {
+        return RunOutput{};
+      }),
+      std::invalid_argument);
+}
+
+TEST(RegistryTest, PolicyKeysRoundTrip) {
+  for (const std::string& key : policy_keys()) {
+    EXPECT_EQ(policy_key(parse_policy(key)), key);
+  }
+  EXPECT_THROW((void)parse_policy("carrier-pigeon"), std::invalid_argument);
+}
+
+TEST(RegistryTest, TimingKeysRoundTrip) {
+  for (const std::string& key : timing_keys()) {
+    EXPECT_EQ(timing_key(parse_timing(key)), key);
+  }
+  EXPECT_THROW((void)parse_timing("relativistic"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wlan::exp

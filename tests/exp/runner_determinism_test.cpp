@@ -1,0 +1,115 @@
+// The determinism contract of the parallel runner: the same spec produces
+// byte-identical aggregated figures, manifest files and run records no
+// matter how many threads execute it, and any single run can be reproduced
+// from its grid index alone.
+#include "exp/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/report.hpp"
+#include "exp/args.hpp"
+
+namespace wlan::exp {
+namespace {
+
+ExperimentSpec tiny_sweep() {
+  ExperimentSpec spec;
+  spec.name = "determinism";
+  spec.base_seed = 31;
+  spec.seeds_per_point = 2;
+  spec.duration_s = 5.0;
+  spec.base.warmup_s = 1.0;
+  spec.loads = {{6, 30.0, 0.1, 1}, {10, 60.0, 0.25, 3}};
+  spec.base.profile.closed_loop = true;
+  return spec;
+}
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+ExperimentResult run_with_threads(int threads, const std::string& out_dir) {
+  RunnerOptions opt;
+  opt.threads = threads;
+  opt.out_dir = out_dir;
+  opt.per_point_figures = true;
+  opt.timing_in_manifest = false;  // wall clock is the one nondeterminism
+  return run_experiment(tiny_sweep(), opt);
+}
+
+TEST(RunnerDeterminismTest, OneThreadAndManyThreadsAreByteIdentical) {
+  const std::string dir1 = ::testing::TempDir() + "exp_det_t1";
+  const std::string dir4 = ::testing::TempDir() + "exp_det_t4";
+  const auto r1 = run_with_threads(1, dir1);
+  const auto r4 = run_with_threads(4, dir4);
+
+  // Aggregated figures render identically (same doubles, bit for bit).
+  EXPECT_EQ(core::render_figure(r1.figures.fig06_throughput_goodput(1)),
+            core::render_figure(r4.figures.fig06_throughput_goodput(1)));
+  EXPECT_EQ(core::render_figure(r1.figures.fig08_busytime_share(1)),
+            core::render_figure(r4.figures.fig08_busytime_share(1)));
+  EXPECT_EQ(r1.figures.seconds_absorbed(), r4.figures.seconds_absorbed());
+
+  // Per-point accumulators too.
+  ASSERT_EQ(r1.per_point.size(), r4.per_point.size());
+  for (std::size_t p = 0; p < r1.per_point.size(); ++p) {
+    EXPECT_EQ(core::render_figure(r1.per_point[p].fig06_throughput_goodput(1)),
+              core::render_figure(r4.per_point[p].fig06_throughput_goodput(1)));
+  }
+
+  // Every manifest row agrees field for field.
+  ASSERT_EQ(r1.runs.size(), r4.runs.size());
+  for (std::size_t i = 0; i < r1.runs.size(); ++i) {
+    EXPECT_EQ(manifest_row(r1.runs[i], false), manifest_row(r4.runs[i], false));
+  }
+
+  // And the files on disk are byte-identical.
+  EXPECT_EQ(slurp(dir1 + "/determinism_manifest.csv"),
+            slurp(dir4 + "/determinism_manifest.csv"));
+  EXPECT_EQ(slurp(dir1 + "/determinism_manifest.json"),
+            slurp(dir4 + "/determinism_manifest.json"));
+  EXPECT_FALSE(slurp(dir1 + "/determinism_manifest.csv").empty());
+}
+
+TEST(RunnerDeterminismTest, OnlyRunReproducesASingleGridPointExactly) {
+  const auto full = run_with_threads(2, "");
+
+  RunnerOptions opt;
+  opt.only_run = 2;
+  const auto one = run_experiment(tiny_sweep(), opt);
+  ASSERT_EQ(one.runs.size(), 1u);
+  EXPECT_EQ(one.runs[0].run_index, 2u);
+  EXPECT_EQ(manifest_row(one.runs[0], false), manifest_row(full.runs[2], false));
+
+  RunnerOptions bad;
+  bad.only_run = 99;
+  EXPECT_THROW(run_experiment(tiny_sweep(), bad), std::out_of_range);
+}
+
+TEST(RunnerDeterminismTest, UnknownScenarioThrowsOnTheCallingThread) {
+  // Must surface as a catchable exception, not std::terminate in a worker.
+  auto spec = tiny_sweep();
+  spec.scenario = "celll";  // typo
+  EXPECT_THROW((void)run_experiment(spec), std::invalid_argument);
+}
+
+TEST(RunnerDeterminismTest, ThreadOversubscriptionIsHarmless) {
+  // More threads than runs must clamp, not hang or crash.
+  RunnerOptions opt;
+  opt.threads = 64;
+  const auto res = run_experiment(tiny_sweep(), opt);
+  EXPECT_EQ(res.runs.size(), 4u);
+  EXPECT_GT(res.figures.seconds_absorbed(), 0u);
+}
+
+}  // namespace
+}  // namespace wlan::exp
