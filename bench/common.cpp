@@ -66,19 +66,7 @@ void emit_figure(const core::FigureSeries& fig, const std::string& csv_name,
   std::filesystem::create_directories(out_dir);
   const std::string path =
       (std::filesystem::path(out_dir) / csv_name).string();
-  std::vector<std::string> header{fig.x_label};
-  for (const auto& s : fig.series) header.push_back(s.name);
-  util::CsvWriter csv(path, header);
-  for (std::size_t i = 0; i < fig.x.size(); ++i) {
-    std::vector<double> row{fig.x[i]};
-    bool any = false;
-    for (const auto& s : fig.series) {
-      const double v = i < s.ys.size() ? s.ys[i] : NAN;
-      row.push_back(v);
-      if (std::isfinite(v)) any = true;
-    }
-    if (any) csv.row(row);
-  }
+  core::write_figure_csv(fig, path);
   std::printf("series written to %s\n\n", path.c_str());
 }
 

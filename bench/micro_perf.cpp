@@ -2,10 +2,17 @@
 // bounds how much network time the figure benches can afford to simulate.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "core/analyzer.hpp"
 #include "core/delay_components.hpp"
+#include "core/report.hpp"
+#include "core/streaming.hpp"
 #include "phy/error_model.hpp"
 #include "sim/event_queue.hpp"
+#include "trace/merge.hpp"
+#include "trace/pcap.hpp"
+#include "trace/reader.hpp"
 #include "util/rng.hpp"
 #include "workload/scenario.hpp"
 
@@ -95,5 +102,77 @@ void BM_AnalyzeTrace(benchmark::State& state) {
                           static_cast<std::int64_t>(result.trace.records.size()));
 }
 BENCHMARK(BM_AnalyzeTrace)->Unit(benchmark::kMillisecond);
+
+/// Same trace through the push-based drain path (figures accumulated on the
+/// fly, per-second results dropped) — the wlan_analyze hot loop.
+void BM_StreamingAnalyzeDrain(benchmark::State& state) {
+  workload::CellConfig cell;
+  cell.seed = 12;
+  cell.num_users = 12;
+  cell.per_user_pps = 60.0;
+  cell.duration_s = 10.0;
+  cell.timing = mac::TimingProfile::kStandard;
+  cell.profile.closed_loop = true;
+  cell.profile.window = 3;
+  const auto result = workload::run_cell(cell);
+  for (auto _ : state) {
+    core::FigureAccumulator acc;
+    core::FigureStreamSink sink(acc);
+    core::StreamingAnalyzer analyzer({}, &sink);
+    analyzer.set_bounds(result.trace.start_us, result.trace.end_us);
+    for (const auto& r : result.trace.records) analyzer.push(r);
+    auto analysis = analyzer.finish();
+    acc.add_senders(analysis.senders);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(result.trace.records.size()));
+}
+BENCHMARK(BM_StreamingAnalyzeDrain)->Unit(benchmark::kMillisecond);
+
+/// Clock-corrected dedup merge of a two-sniffer capture.
+void BM_MergeSnifferTraces(benchmark::State& state) {
+  workload::CellConfig cell;
+  cell.seed = 13;
+  cell.num_users = 10;
+  cell.per_user_pps = 40.0;
+  cell.duration_s = 6.0;
+  cell.profile.closed_loop = true;
+  cell.num_sniffers = 2;
+  const auto result = workload::run_cell(cell);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace::merge_sniffer_traces(result.sniffer_traces));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(result.sniffer_traces[0].records.size() +
+                                result.sniffer_traces[1].records.size()));
+}
+BENCHMARK(BM_MergeSnifferTraces)->Unit(benchmark::kMillisecond);
+
+/// Chunked pcap parsing throughput (records/s out of the streaming reader).
+void BM_PcapReaderStream(benchmark::State& state) {
+  workload::CellConfig cell;
+  cell.seed = 14;
+  cell.num_users = 10;
+  cell.per_user_pps = 40.0;
+  cell.duration_s = 6.0;
+  cell.profile.closed_loop = true;
+  const auto result = workload::run_cell(cell);
+  const std::string path = "bench_pcap_reader.pcap";
+  trace::write_pcap(result.trace, path);
+  std::uint64_t records = 0;
+  for (auto _ : state) {
+    trace::PcapReader reader(path);
+    trace::CaptureRecord r;
+    records = 0;
+    while (reader.next(r)) ++records;
+    benchmark::DoNotOptimize(records);
+  }
+  std::remove(path.c_str());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(records));
+}
+BENCHMARK(BM_PcapReaderStream)->Unit(benchmark::kMillisecond);
 
 }  // namespace

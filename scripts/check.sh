@@ -21,3 +21,17 @@ echo "smoke: bench_fig06_throughput_goodput --threads 2 --seeds 1 --duration 4"
 test -s build/smoke/fig06.csv
 test -s build/smoke/fig06_manifest.csv
 echo "smoke: OK (build/smoke/fig06_manifest.csv)"
+
+# Streaming trace pipeline: a 2-sniffer sim run written to pcap, clock-
+# corrected + merged + analyzed twice (streaming and in-memory), and the
+# figure CSVs diffed byte-for-byte inside the selftest.
+echo "smoke: wlan_analyze --selftest (pcap merge + streaming-vs-batch diff)"
+./build/example_wlan_analyze --selftest build/smoke_analyze --duration 5 \
+    2> /dev/null
+# And the plain CLI flow over the selftest's own capture files.
+./build/example_wlan_analyze build/smoke_analyze/sniffer0.pcap \
+    build/smoke_analyze/sniffer1.pcap --out-dir build/smoke_analyze/figs \
+    > /dev/null
+test -s build/smoke_analyze/figs/fig05_seconds.csv
+test -s build/smoke_analyze/figs/fig06.csv
+echo "smoke: OK (build/smoke_analyze/figs)"

@@ -1,6 +1,6 @@
 #include "core/analyzer.hpp"
 
-#include <stdexcept>
+#include "core/streaming.hpp"
 
 namespace wlan::core {
 
@@ -26,160 +26,17 @@ void SecondStats::merge(const SecondStats& other) {
   }
 }
 
-namespace {
-
-/// Key for the pending-acceptance map: sender address + sequence number.
-constexpr std::uint32_t pending_key(mac::Addr src, std::uint16_t seq) {
-  return (static_cast<std::uint32_t>(src) << 16) | seq;
-}
-
-struct Pending {
-  std::int64_t first_tx_us = 0;
-  std::size_t category = 0;
-};
-
-bool is_data_like(mac::FrameType t) {
-  return t == mac::FrameType::kData || t == mac::FrameType::kAssocReq ||
-         t == mac::FrameType::kAssocResp || t == mac::FrameType::kDisassoc;
-}
-
-}  // namespace
-
 TraceAnalyzer::TraceAnalyzer(AnalyzerConfig config) : config_(config) {}
 
+// The batch path IS the streaming path fed from a vector: one record-level
+// implementation (core/streaming.cpp), so in-memory and streamed analyses
+// cannot diverge.
 AnalysisResult TraceAnalyzer::analyze(const trace::Trace& trace) const {
-  AnalysisResult result;
-  if (trace.records.empty()) return result;
-
-  const std::int64_t start_us = trace.start_us <= trace.records.front().time_us
-                                    ? trace.start_us
-                                    : trace.records.front().time_us;
-  result.start_us = start_us;
-  const std::int64_t end_us = trace.end_us >= trace.records.back().time_us
-                                  ? trace.end_us
-                                  : trace.records.back().time_us;
-  const auto num_seconds =
-      static_cast<std::size_t>((end_us - start_us) / 1'000'000 + 1);
-  result.seconds.resize(num_seconds);
-  for (std::size_t i = 0; i < num_seconds; ++i) {
-    result.seconds[i].second = static_cast<std::int64_t>(i);
-  }
-
-  // Pending data frames awaiting their ACK, keyed by (src, seq).
-  std::unordered_map<std::uint32_t, Pending> pending;
-  std::int64_t prev_time = start_us;
-
-  const auto& recs = trace.records;
-  for (std::size_t i = 0; i < recs.size(); ++i) {
-    const trace::CaptureRecord& r = recs[i];
-    if (r.time_us + 10 < prev_time) {
-      throw std::invalid_argument(
-          "TraceAnalyzer: records not time-sorted; merge traces first");
-    }
-    prev_time = r.time_us;
-
-    const auto sec_idx =
-        static_cast<std::size_t>((r.time_us - start_us) / 1'000'000);
-    if (sec_idx >= result.seconds.size()) break;  // defensive
-    SecondStats& s = result.seconds[sec_idx];
-
-    // --- Busy time (Eqs. 2-7) and byte/bit volumes -----------------------
-    const double cbt_us = static_cast<double>(config_.delays.cbt(r).count());
-    s.cbt_us += cbt_us;
-    s.cbt_us_by_rate[phy::rate_index(r.rate)] += cbt_us;
-    s.bits_all += static_cast<std::uint64_t>(r.size_bytes) * 8;
-    s.bytes_by_rate[phy::rate_index(r.rate)] += r.size_bytes;
-
-    ++result.total_frames;
-
-    // --- Per-type bookkeeping --------------------------------------------
-    switch (r.type) {
-      case mac::FrameType::kRts: {
-        ++s.rts;
-        ++result.total_rts;
-        s.bits_good += static_cast<std::uint64_t>(r.size_bytes) * 8;
-        auto& sender = result.senders[r.src];
-        ++sender.rts_tx;
-        sender.uses_rtscts = true;
-        break;
-      }
-      case mac::FrameType::kCts:
-        ++s.cts;
-        ++result.total_cts;
-        s.bits_good += static_cast<std::uint64_t>(r.size_bytes) * 8;
-        break;
-      case mac::FrameType::kAck:
-        ++s.ack;
-        ++result.total_acks;
-        s.bits_good += static_cast<std::uint64_t>(r.size_bytes) * 8;
-        break;
-      case mac::FrameType::kBeacon:
-        ++s.beacon;
-        s.bits_good += static_cast<std::uint64_t>(r.size_bytes) * 8;
-        break;
-      default:
-        break;
-    }
-
-    if (!is_data_like(r.type)) continue;
-
-    if (r.type != mac::FrameType::kData) {
-      ++s.mgmt;
-    } else {
-      ++s.data;
-      ++result.total_data;
-      const SizeClass cls = size_class(r.size_bytes);
-      ++s.tx_by_category[category_index(cls, r.rate)];
-      if (r.retry) ++s.retries_by_rate[phy::rate_index(r.rate)];
-      ++result.senders[r.src].data_tx;
-    }
-
-    // --- DATA->ACK atomicity: was this frame acknowledged? ---------------
-    // The ACK must be the next capture, addressed to this frame's sender,
-    // within SIFS + D_ACK + slack of the data frame's end.
-    const std::int64_t data_end =
-        r.time_us +
-        config_.delays.data_duration_total(r.size_bytes, r.rate).count();
-    bool acked = false;
-    if (i + 1 < recs.size()) {
-      const trace::CaptureRecord& nxt = recs[i + 1];
-      acked = nxt.type == mac::FrameType::kAck && nxt.dst == r.src &&
-              nxt.time_us <= data_end + config_.ack_match_slack.count();
-    }
-
-    if (r.type != mac::FrameType::kData) continue;
-
-    const std::uint32_t key = pending_key(r.src, r.seq);
-    const std::size_t cat = category_index(size_class(r.size_bytes), r.rate);
-    auto it = pending.find(key);
-    if (it == pending.end() || !r.retry) {
-      // First attempt (or we never saw the first attempt: approximate with
-      // this one, as the authors must have).
-      it = pending.insert_or_assign(key, Pending{r.time_us, cat}).first;
-    } else if (r.time_us - it->second.first_tx_us >
-               config_.pending_expiry.count()) {
-      it->second = Pending{r.time_us, cat};  // stale (seq wrapped)
-    }
-
-    if (acked) {
-      const trace::CaptureRecord& ack_rec = recs[i + 1];
-      s.bits_good += static_cast<std::uint64_t>(r.size_bytes) * 8;
-      ++s.acked_by_rate[phy::rate_index(r.rate)];
-      if (!r.retry) ++s.first_attempt_acked[phy::rate_index(r.rate)];
-      ++result.senders[r.src].data_acked;
-
-      AcceptanceSample sample;
-      sample.second = static_cast<std::int64_t>(
-          (ack_rec.time_us - start_us) / 1'000'000);
-      sample.category = cat;
-      sample.delay_us =
-          static_cast<double>(ack_rec.time_us - it->second.first_tx_us);
-      result.acceptance.push_back(sample);
-      pending.erase(it);
-    }
-  }
-
-  return result;
+  if (trace.records.empty()) return {};
+  StreamingAnalyzer streaming(config_);
+  streaming.set_bounds(trace.start_us, trace.end_us);
+  for (const trace::CaptureRecord& r : trace.records) streaming.push(r);
+  return streaming.finish();
 }
 
 }  // namespace wlan::core

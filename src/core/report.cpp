@@ -3,6 +3,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "util/csv.hpp"
+
 namespace wlan::core {
 
 namespace {
@@ -11,32 +13,43 @@ constexpr int kHi = 99;
 }  // namespace
 
 void FigureAccumulator::add(const AnalysisResult& a) {
-  for (const SecondStats& s : a.seconds) {
-    const double u = s.utilization();
-    ++seconds_;
-    throughput_.add(u, s.throughput_mbps());
-    goodput_.add(u, s.goodput_mbps());
-    rts_.add(u, static_cast<double>(s.rts));
-    cts_.add(u, static_cast<double>(s.cts));
-    for (phy::Rate r : phy::kAllRates) {
-      const std::size_t i = phy::rate_index(r);
-      cbt_by_rate_[i].add(u, s.cbt_us_by_rate[i] / 1e6);  // seconds share
-      bytes_by_rate_[i].add(u, static_cast<double>(s.bytes_by_rate[i]));
-      first_acked_[i].add(u, static_cast<double>(s.first_attempt_acked[i]));
-    }
-    for (std::size_t c = 0; c < kNumCategories; ++c) {
-      tx_by_category_[c].add(u, static_cast<double>(s.tx_by_category[c]));
-    }
-  }
+  for (const SecondStats& s : a.seconds) add_second(s);
   // Acceptance samples carry the second they completed in; bin them at that
   // second's utilization (delay in seconds, as Figure 15 plots).
   for (const AcceptanceSample& sample : a.acceptance) {
     const auto idx = static_cast<std::size_t>(sample.second);
     if (idx >= a.seconds.size()) continue;
-    acceptance_[sample.category].add(a.seconds[idx].utilization(),
-                                     sample.delay_us / 1e6);
+    add_acceptance(a.seconds[idx].utilization(), sample);
   }
-  for (const auto& [addr, st] : a.senders) {
+  add_senders(a.senders);
+}
+
+void FigureAccumulator::add_second(const SecondStats& s) {
+  const double u = s.utilization();
+  ++seconds_;
+  throughput_.add(u, s.throughput_mbps());
+  goodput_.add(u, s.goodput_mbps());
+  rts_.add(u, static_cast<double>(s.rts));
+  cts_.add(u, static_cast<double>(s.cts));
+  for (phy::Rate r : phy::kAllRates) {
+    const std::size_t i = phy::rate_index(r);
+    cbt_by_rate_[i].add(u, s.cbt_us_by_rate[i] / 1e6);  // seconds share
+    bytes_by_rate_[i].add(u, static_cast<double>(s.bytes_by_rate[i]));
+    first_acked_[i].add(u, static_cast<double>(s.first_attempt_acked[i]));
+  }
+  for (std::size_t c = 0; c < kNumCategories; ++c) {
+    tx_by_category_[c].add(u, static_cast<double>(s.tx_by_category[c]));
+  }
+}
+
+void FigureAccumulator::add_acceptance(double utilization_pct,
+                                       const AcceptanceSample& sample) {
+  acceptance_[sample.category].add(utilization_pct, sample.delay_us / 1e6);
+}
+
+void FigureAccumulator::add_senders(
+    const std::unordered_map<mac::Addr, SenderStats>& senders) {
+  for (const auto& [addr, st] : senders) {
     SenderStats& agg = senders_[addr];
     agg.data_tx += st.data_tx;
     agg.data_acked += st.data_acked;
@@ -254,6 +267,27 @@ std::string render_figure(const FigureSeries& fig) {
   }
   out << util::text_table(rows);
   return out.str();
+}
+
+void write_figure_csv(const FigureSeries& fig, const std::string& path) {
+  std::vector<std::string> header{fig.x_label};
+  for (const auto& s : fig.series) header.push_back(s.name);
+  util::CsvWriter csv(path, header);
+  for (std::size_t i = 0; i < fig.x.size(); ++i) {
+    std::vector<double> row{fig.x[i]};
+    bool any = false;
+    for (const auto& s : fig.series) {
+      const double v = i < s.ys.size() ? s.ys[i] : NAN;
+      row.push_back(v);
+      if (std::isfinite(v)) any = true;
+    }
+    if (any) csv.row(row);
+  }
+}
+
+void write_seconds_csv(const AnalysisResult& a, const std::string& path) {
+  SecondsCsvSink sink(path);
+  for (const SecondStats& s : a.seconds) sink.on_second(s);
 }
 
 }  // namespace wlan::core

@@ -13,8 +13,10 @@
 
 #include "core/analyzer.hpp"
 #include "core/frame_classes.hpp"
+#include "core/streaming.hpp"
 #include "core/utilization.hpp"
 #include "util/ascii_chart.hpp"
+#include "util/csv.hpp"
 
 namespace wlan::core {
 
@@ -42,8 +44,18 @@ class FigureAccumulator {
  public:
   FigureAccumulator() = default;
 
-  /// Absorbs one analyzed trace.
+  /// Absorbs one analyzed trace.  Implemented on the incremental API below,
+  /// so batch and streaming accumulation perform the identical float
+  /// operations in the identical per-binner order — byte-identical figures.
   void add(const AnalysisResult& analysis);
+
+  // --- incremental API (streaming path; see core/streaming.hpp) ---------
+  /// Absorbs one finalized second.
+  void add_second(const SecondStats& s);
+  /// Absorbs one acceptance sample at its second's final utilization.
+  void add_acceptance(double utilization_pct, const AcceptanceSample& sample);
+  /// Folds per-sender tallies (call once per capture, after its seconds).
+  void add_senders(const std::unordered_map<mac::Addr, SenderStats>& senders);
 
   /// Folds another accumulator into this one (parallel sweep reduction).
   /// Bit-exact reproducibility requires merging partials in a fixed order —
@@ -88,6 +100,72 @@ class FigureAccumulator {
   std::array<UtilizationBinner, kNumCategories> acceptance_;
 
   std::unordered_map<mac::Addr, SenderStats> senders_;
+};
+
+/// AnalysisSink that feeds a FigureAccumulator as the capture streams by —
+/// the constant-memory figure path.  After StreamingAnalyzer::finish(),
+/// fold the returned result's senders in with accumulator.add_senders (the
+/// sink only sees per-second events).
+class FigureStreamSink final : public AnalysisSink {
+ public:
+  explicit FigureStreamSink(FigureAccumulator& accumulator)
+      : accumulator_(&accumulator) {}
+
+  void on_second(const SecondStats& s) override {
+    accumulator_->add_second(s);
+  }
+  void on_acceptance(const AcceptanceSample& sample,
+                     double utilization_pct) override {
+    accumulator_->add_acceptance(utilization_pct, sample);
+  }
+
+ private:
+  FigureAccumulator* accumulator_;
+};
+
+/// Writes a FigureSeries' data table as CSV (one row per x with any finite
+/// series value).  Shared by bench/common.cpp's emit_figure and the
+/// wlan_analyze tool so their files are byte-identical for equal figures.
+void write_figure_csv(const FigureSeries& fig, const std::string& path);
+
+/// Streams the per-second time series (Fig. 5-style) to CSV as seconds
+/// finalize: second, utilization_pct, throughput_mbps, goodput_mbps.
+class SecondsCsvSink final : public AnalysisSink {
+ public:
+  explicit SecondsCsvSink(const std::string& path)
+      : csv_(path, {"second", "utilization_pct", "throughput_mbps",
+                    "goodput_mbps"}) {}
+
+  void on_second(const SecondStats& s) override {
+    csv_.row({static_cast<double>(s.second), s.utilization(),
+              s.throughput_mbps(), s.goodput_mbps()});
+  }
+  void on_acceptance(const AcceptanceSample&, double) override {}
+
+ private:
+  util::CsvWriter csv_;
+};
+
+/// Batch counterpart of SecondsCsvSink: identical bytes for equal seconds.
+void write_seconds_csv(const AnalysisResult& a, const std::string& path);
+
+/// Fans one analysis stream out to several sinks (figures + CSV in one
+/// pass).  Sinks receive events in the order given.
+class TeeSink final : public AnalysisSink {
+ public:
+  explicit TeeSink(std::vector<AnalysisSink*> sinks)
+      : sinks_(std::move(sinks)) {}
+
+  void on_second(const SecondStats& s) override {
+    for (AnalysisSink* sink : sinks_) sink->on_second(s);
+  }
+  void on_acceptance(const AcceptanceSample& sample,
+                     double utilization_pct) override {
+    for (AnalysisSink* sink : sinks_) sink->on_acceptance(sample, utilization_pct);
+  }
+
+ private:
+  std::vector<AnalysisSink*> sinks_;
 };
 
 }  // namespace wlan::core

@@ -24,10 +24,15 @@ namespace {
 
 }  // namespace
 
-BenchArgs parse_bench_args(int argc, char** argv, std::string_view what) {
+BenchArgs parse_bench_args(int argc, char** argv, std::string_view what,
+                           bool allow_positionals) {
   BenchArgs args;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
+    if (allow_positionals && !flag.starts_with("--") && flag != "-h") {
+      args.positionals.push_back(flag);
+      continue;
+    }
     auto value = [&]() -> const char* {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "missing value for %s\n", flag.c_str());

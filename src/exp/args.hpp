@@ -6,6 +6,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "exp/runner.hpp"
 #include "exp/spec.hpp"
@@ -19,13 +20,19 @@ struct BenchArgs {
   std::string out_dir = ".";
   std::optional<std::size_t> only_run;
   bool progress = true;     ///< per-run lines on stderr (--quiet disables)
+  /// Non-flag arguments in order (capture files for the analysis tools);
+  /// only populated when the driver opts in via allow_positionals.
+  std::vector<std::string> positionals;
 };
 
 /// Parses the shared flags.  Prints usage (with `what` as the first line)
 /// and exits 0 on --help; prints the offending flag and exits 2 on a
-/// malformed or unknown argument.
+/// malformed or unknown argument.  Drivers that take input files
+/// (wlan_analyze) pass allow_positionals so bare arguments collect into
+/// BenchArgs::positionals instead of erroring.
 [[nodiscard]] BenchArgs parse_bench_args(int argc, char** argv,
-                                         std::string_view what);
+                                         std::string_view what,
+                                         bool allow_positionals = false);
 
 /// Folds the overriding flags (--seeds, --duration) into a spec.
 void apply_args(const BenchArgs& args, ExperimentSpec& spec);

@@ -53,7 +53,7 @@ Frame make_data(Addr src, Addr dst, Addr bssid, std::uint16_t seq,
   f.src = src;
   f.dst = dst;
   f.bssid = bssid;
-  f.seq = seq;
+  f.seq = seq & kSeqMask;
   f.payload = payload;
   f.rate = rate;
   f.channel = channel;
@@ -97,13 +97,14 @@ Frame make_cts(Addr src, Addr dst, std::uint8_t channel, Microseconds nav) {
   return f;
 }
 
-Frame make_beacon(Addr src, std::uint8_t channel) {
+Frame make_beacon(Addr src, std::uint8_t channel, std::uint16_t seq) {
   Frame f;
   f.id = next_id();
   f.type = FrameType::kBeacon;
   f.src = src;
   f.dst = kBroadcast;
   f.bssid = src;
+  f.seq = seq & kSeqMask;
   f.rate = phy::Rate::kR1;
   f.channel = channel;
   return f;

@@ -79,6 +79,13 @@ Frame make_ack(Addr src, Addr dst, std::uint8_t channel);
 Frame make_rts(Addr src, Addr dst, Addr bssid, std::uint8_t channel,
                Microseconds nav);
 Frame make_cts(Addr src, Addr dst, std::uint8_t channel, Microseconds nav);
-Frame make_beacon(Addr src, std::uint8_t channel);
+/// Beacons carry the radio's sequence counter like any other MSDU — the
+/// (bssid, seq) pair identifies a beacon instance uniquely until the 12-bit
+/// counter wraps, which is what lets multi-sniffer merges use beacons as
+/// clock anchors (paper §4.3; trace/merge.hpp).
+Frame make_beacon(Addr src, std::uint8_t channel, std::uint16_t seq);
+
+/// 802.11 sequence numbers are 12 bits; frame constructors mask with this.
+inline constexpr std::uint16_t kSeqMask = 0x0fff;
 
 }  // namespace wlan::mac

@@ -49,7 +49,8 @@ void Sniffer::observe(const mac::Frame& frame, Microseconds start,
                      ? rng_.normal(0.0, config_.snr_jitter_db)
                      : 0.0);
   records_.push_back(trace::record_from_frame(
-      frame, start, static_cast<float>(measured_snr), id_));
+      frame, start + Microseconds{config_.clock_offset_us},
+      static_cast<float>(measured_snr), id_));
   ++stats_.captured;
 }
 

@@ -28,6 +28,11 @@ struct SnifferConfig {
   double max_overload_drop = 0.35;
   /// Std-dev of the RFMon SNR measurement jitter (dB).
   double snr_jitter_db = 1.0;
+  /// Offset of this sniffer's clock from true simulation time: recorded
+  /// timestamps read frame_start + clock_offset_us.  The paper's sniffer
+  /// clocks were unsynchronized; trace::merge recovers and removes this
+  /// from beacon anchors before merging captures.
+  std::int64_t clock_offset_us = 0;
 };
 
 struct SnifferStats {

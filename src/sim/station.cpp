@@ -89,9 +89,13 @@ void Station::transmit_head() {
   Packet& head = queue_.front();
 
   if (head.dst == mac::kBroadcast) {
-    // Beacon/broadcast: no ACK, complete at end of air time.
+    // Beacon/broadcast: no ACK, complete at end of air time.  Beacons
+    // consume the radio's sequence counter like data (real MACs share one
+    // 12-bit counter), giving every beacon the unique (bssid, seq) identity
+    // the multi-sniffer clock alignment anchors on.
+    next_seq_ = static_cast<std::uint16_t>(next_seq_ + 1);
     mac::Frame f = mac::make_beacon(head.bssid != mac::kNoAddr ? head.bssid : addr_,
-                                    channel_.number());
+                                    channel_.number(), next_seq_);
     channel_.transmit(this, f, [this] { finish_head(true); });
     return;
   }

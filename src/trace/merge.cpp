@@ -1,0 +1,194 @@
+#include "trace/merge.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace wlan::trace {
+
+namespace {
+
+/// Within-capture sortedness tolerance, matching the analyzer's: sniffers
+/// log overlapping frames at frame-end, so starts can invert by a few us.
+constexpr std::int64_t kSortSlackUs = 10;
+
+/// Beacon anchor identity: (bssid, 12-bit seq).
+constexpr std::uint32_t anchor_key(const CaptureRecord& r) {
+  return (static_cast<std::uint32_t>(r.bssid) << 12) | (r.seq & 0xfffu);
+}
+
+/// Cross-sniffer duplicate identity.  ACK/CTS normalize src to kNoAddr:
+/// the real frames carry no transmitter address, so raw sim captures and
+/// pcap round-trips must dedup identically.
+std::uint64_t dedup_key(const CaptureRecord& r) {
+  const bool no_src =
+      r.type == mac::FrameType::kAck || r.type == mac::FrameType::kCts;
+  const std::uint64_t src = no_src ? mac::kNoAddr : r.src;
+  return (static_cast<std::uint64_t>(r.seq) & 0xfffu) |
+         (static_cast<std::uint64_t>(r.dst) << 12) | (src << 28) |
+         (static_cast<std::uint64_t>(r.retry) << 44) |
+         (static_cast<std::uint64_t>(r.type) << 45) |
+         (static_cast<std::uint64_t>(r.channel) << 48);
+}
+
+}  // namespace
+
+ClockOffsets estimate_clock_offsets(const std::vector<TraceReader*>& inputs,
+                                    std::size_t max_anchors) {
+  ClockOffsets out;
+  out.offset_us.assign(inputs.size(), 0);
+  out.anchors.assign(inputs.size(), 0);
+  if (inputs.size() < 2) return out;
+
+  // Reference anchors: the longest prefix of input 0 in which every beacon
+  // key occurs once.  The first repeated key marks a 12-bit sequence wrap;
+  // collection stops there so that everything kept is a first occurrence —
+  // on multi-hour captures (many wraps) the prefix still holds thousands
+  // of valid anchors, and clock offsets are constant, so a prefix is all
+  // the estimate needs.
+  std::unordered_map<std::uint32_t, std::int64_t> ref;
+  CaptureRecord r;
+  while (inputs[0]->next(r)) {
+    if (r.type != mac::FrameType::kBeacon) continue;
+    if (!ref.emplace(anchor_key(r), r.time_us).second) break;
+    if (ref.size() >= max_anchors) break;
+  }
+
+  for (std::size_t i = 1; i < inputs.size(); ++i) {
+    std::vector<std::int64_t> deltas;
+    std::unordered_set<std::uint32_t> seen;
+    while (inputs[i]->next(r)) {
+      if (r.type != mac::FrameType::kBeacon) continue;
+      const std::uint32_t key = anchor_key(r);
+      if (!seen.insert(key).second) continue;
+      const auto it = ref.find(key);
+      if (it == ref.end()) continue;
+      deltas.push_back(r.time_us - it->second);
+      // Every reference anchor matched (or the cap hit): no point scanning
+      // the rest of a potentially huge capture.
+      if (deltas.size() >= max_anchors || deltas.size() >= ref.size()) break;
+    }
+    out.anchors[i] = deltas.size();
+    if (!deltas.empty()) {
+      // Upper median; exact when the true offset is constant, robust when a
+      // minority of anchors are first-occurrence mismatches.
+      const auto mid = deltas.begin() +
+                       static_cast<std::ptrdiff_t>(deltas.size() / 2);
+      std::nth_element(deltas.begin(), mid, deltas.end());
+      out.offset_us[i] = *mid;
+    }
+  }
+  return out;
+}
+
+MergingReader::MergingReader(std::vector<TraceReader*> inputs,
+                             std::vector<std::int64_t> offsets_us,
+                             const MergeOptions& options)
+    : inputs_(std::move(inputs)), offsets_us_(std::move(offsets_us)),
+      options_(options), head_(inputs_.size()),
+      prev_time_(inputs_.size(), std::numeric_limits<std::int64_t>::min()) {
+  if (offsets_us_.size() != inputs_.size()) {
+    throw std::invalid_argument(
+        "MergingReader: one clock offset per input required");
+  }
+}
+
+void MergingReader::advance(std::size_t input) {
+  CaptureRecord r;
+  if (!inputs_[input]->next(r)) return;
+  r.time_us -= offsets_us_[input];
+  if (r.time_us + kSortSlackUs < prev_time_[input]) {
+    // A regression beyond capture jitter means the input is not the
+    // time-sorted stream the k-way merge requires.
+    throw std::runtime_error(
+        "MergingReader: input " + std::to_string(input) +
+        " is not time-sorted (" + std::to_string(r.time_us) + " after " +
+        std::to_string(prev_time_[input]) + "); sort the capture first");
+  }
+  prev_time_[input] = r.time_us;
+  head_[input] = r;
+  heap_.push({r.time_us, input});
+  ++stats_.records_in;
+}
+
+void MergingReader::prime() {
+  for (std::size_t i = 0; i < inputs_.size(); ++i) advance(i);
+}
+
+bool MergingReader::next(CaptureRecord& out) {
+  if (!primed_) {
+    prime();
+    primed_ = true;
+  }
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.top();
+    heap_.pop();
+    const CaptureRecord r = head_[top.input];
+    advance(top.input);
+
+    // Slide the dedup window forward.
+    while (!emit_order_.empty() &&
+           emit_order_.front().second + options_.dup_window_us < top.time_us) {
+      const auto& [key, when] = emit_order_.front();
+      const auto it = last_emit_.find(key);
+      if (it != last_emit_.end() && it->second == when) last_emit_.erase(it);
+      emit_order_.pop_front();
+    }
+
+    const std::uint64_t key = dedup_key(r);
+    const auto it = last_emit_.find(key);
+    if (it != last_emit_.end() &&
+        top.time_us - it->second <= options_.dup_window_us) {
+      // Same frame heard by another sniffer: suppress, and slide the
+      // window so a third sniffer's copy is suppressed too.
+      it->second = top.time_us;
+      emit_order_.emplace_back(key, top.time_us);
+      ++stats_.duplicates_dropped;
+      continue;
+    }
+    last_emit_[key] = top.time_us;
+    emit_order_.emplace_back(key, top.time_us);
+    ++stats_.emitted;
+    out = r;
+    return true;
+  }
+  return false;
+}
+
+void MergingReader::reset() {
+  for (TraceReader* in : inputs_) in->reset();
+  head_.assign(inputs_.size(), CaptureRecord{});
+  prev_time_.assign(inputs_.size(), std::numeric_limits<std::int64_t>::min());
+  heap_ = {};
+  primed_ = false;
+  stats_ = {};
+  last_emit_.clear();
+  emit_order_.clear();
+}
+
+MergeResult merge_sniffer_traces(const std::vector<Trace>& traces,
+                                 const MergeOptions& options) {
+  MergeResult result;
+  std::vector<VectorReader> readers;
+  readers.reserve(traces.size());
+  for (const Trace& t : traces) readers.emplace_back(t);
+  std::vector<TraceReader*> inputs;
+  inputs.reserve(readers.size());
+  for (VectorReader& r : readers) inputs.push_back(&r);
+
+  if (options.clock_correction) {
+    result.offsets = estimate_clock_offsets(inputs, options.max_anchors);
+    for (TraceReader* in : inputs) in->reset();
+  } else {
+    result.offsets.offset_us.assign(traces.size(), 0);
+    result.offsets.anchors.assign(traces.size(), 0);
+  }
+
+  MergingReader merger(std::move(inputs), result.offsets.offset_us, options);
+  result.trace = read_all(merger);
+  result.stats = merger.stats();
+  return result;
+}
+
+}  // namespace wlan::trace

@@ -1,106 +1,14 @@
 #include "trace/pcap.hpp"
 
-#include <cstring>
 #include <fstream>
-#include <sstream>
 #include <stdexcept>
+
+#include "trace/pcap_format.hpp"
+#include "trace/reader.hpp"
 
 namespace wlan::trace {
 
-namespace {
-
-constexpr std::uint32_t kPcapMagic = 0xa1b2c3d4;
-constexpr double kNoiseFloorDbm = -96.0;
-
-// Radiotap present bits we use.
-constexpr std::uint32_t kPresentRate = 1u << 2;
-constexpr std::uint32_t kPresentChannel = 1u << 3;
-constexpr std::uint32_t kPresentAntSignal = 1u << 5;
-constexpr std::uint32_t kPresentAntNoise = 1u << 6;
-
-// version(1) pad(1) len(2) present(4) rate(1) pad(1) chan_freq(2)
-// chan_flags(2) signal(1) noise(1)
-constexpr std::uint16_t kRadiotapLen = 16;
-
-template <typename T>
-void put(std::string& buf, T v) {
-  char tmp[sizeof(T)];
-  std::memcpy(tmp, &v, sizeof(T));
-  buf.append(tmp, sizeof(T));
-}
-
-template <typename T>
-T get(const char* p) {
-  T v;
-  std::memcpy(&v, p, sizeof(T));
-  return v;
-}
-
-std::uint16_t channel_freq(std::uint8_t ch) {
-  return static_cast<std::uint16_t>(2407 + 5 * ch);
-}
-
-std::uint8_t freq_channel(std::uint16_t freq) {
-  return static_cast<std::uint8_t>((freq - 2407) / 5);
-}
-
-/// 802.11 frame-control field for our frame types (type/subtype + retry).
-std::uint16_t frame_control(mac::FrameType t, bool retry) {
-  std::uint16_t type = 0, subtype = 0;
-  switch (t) {
-    case mac::FrameType::kData: type = 2; subtype = 0; break;
-    case mac::FrameType::kAck: type = 1; subtype = 13; break;
-    case mac::FrameType::kRts: type = 1; subtype = 11; break;
-    case mac::FrameType::kCts: type = 1; subtype = 12; break;
-    case mac::FrameType::kBeacon: type = 0; subtype = 8; break;
-    case mac::FrameType::kAssocReq: type = 0; subtype = 0; break;
-    case mac::FrameType::kAssocResp: type = 0; subtype = 1; break;
-    case mac::FrameType::kDisassoc: type = 0; subtype = 10; break;
-  }
-  std::uint16_t fc = static_cast<std::uint16_t>((type << 2) | (subtype << 4));
-  if (retry) fc |= 0x0800;
-  return fc;
-}
-
-bool decode_frame_control(std::uint16_t fc, mac::FrameType& out) {
-  const unsigned type = (fc >> 2) & 0x3;
-  const unsigned subtype = (fc >> 4) & 0xf;
-  if (type == 2 && subtype == 0) { out = mac::FrameType::kData; return true; }
-  if (type == 1 && subtype == 13) { out = mac::FrameType::kAck; return true; }
-  if (type == 1 && subtype == 11) { out = mac::FrameType::kRts; return true; }
-  if (type == 1 && subtype == 12) { out = mac::FrameType::kCts; return true; }
-  if (type == 0 && subtype == 8) { out = mac::FrameType::kBeacon; return true; }
-  if (type == 0 && subtype == 0) { out = mac::FrameType::kAssocReq; return true; }
-  if (type == 0 && subtype == 1) { out = mac::FrameType::kAssocResp; return true; }
-  if (type == 0 && subtype == 10) { out = mac::FrameType::kDisassoc; return true; }
-  return false;
-}
-
-void put_mac_addr(std::string& buf, mac::Addr a) {
-  buf.push_back(0x02);  // locally administered
-  buf.push_back(0x00);
-  buf.push_back(0x00);
-  buf.push_back(0x00);
-  buf.push_back(static_cast<char>(a >> 8));
-  buf.push_back(static_cast<char>(a & 0xff));
-}
-
-mac::Addr get_mac_addr(const char* p) {
-  return static_cast<mac::Addr>((static_cast<std::uint8_t>(p[4]) << 8) |
-                                static_cast<std::uint8_t>(p[5]));
-}
-
-/// MAC header bytes we serialize per type.
-std::size_t mac_header_len(mac::FrameType t) {
-  switch (t) {
-    case mac::FrameType::kAck:
-    case mac::FrameType::kCts: return 10;  // fc, dur, addr1
-    case mac::FrameType::kRts: return 16;  // fc, dur, addr1, addr2
-    default: return 24;                    // fc, dur, addr1-3, seq
-  }
-}
-
-}  // namespace
+using pcapfmt::put;
 
 void write_pcap(const Trace& trace, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
@@ -108,7 +16,7 @@ void write_pcap(const Trace& trace, const std::string& path) {
 
   std::string buf;
   buf.reserve(24 + trace.records.size() * 64);
-  put<std::uint32_t>(buf, kPcapMagic);
+  put<std::uint32_t>(buf, pcapfmt::kPcapMagic);
   put<std::uint16_t>(buf, 2);   // version major
   put<std::uint16_t>(buf, 4);   // version minor
   put<std::int32_t>(buf, 0);    // thiszone
@@ -117,37 +25,47 @@ void write_pcap(const Trace& trace, const std::string& path) {
   put<std::uint32_t>(buf, kPcapLinkType);
 
   for (const auto& r : trace.records) {
+    if (r.time_us < 0) {
+      // pcap's sec/usec fields are unsigned; a negative stamp (e.g. a
+      // sniffer clock offset pulling early frames below zero) would wrap
+      // to ~4.29e9 s and corrupt the capture's time order silently.
+      throw std::runtime_error(
+          "write_pcap: negative timestamp " + std::to_string(r.time_us) +
+          " us not representable in " + path);
+    }
     std::string pkt;
     // Radiotap header.
     pkt.push_back(0);  // version
     pkt.push_back(0);  // pad
-    put<std::uint16_t>(pkt, kRadiotapLen);
-    put<std::uint32_t>(pkt, kPresentRate | kPresentChannel |
-                                kPresentAntSignal | kPresentAntNoise);
+    put<std::uint16_t>(pkt, pcapfmt::kRadiotapLen);
+    put<std::uint32_t>(pkt, pcapfmt::kPresentRate | pcapfmt::kPresentChannel |
+                                pcapfmt::kPresentAntSignal |
+                                pcapfmt::kPresentAntNoise);
     pkt.push_back(static_cast<char>(phy::rate_kbps(r.rate) / 500));
     pkt.push_back(0);  // align channel field to 2 bytes
-    put<std::uint16_t>(pkt, channel_freq(r.channel));
+    put<std::uint16_t>(pkt, pcapfmt::channel_freq(r.channel));
     put<std::uint16_t>(pkt, 0x0080);  // 2 GHz spectrum flag
     pkt.push_back(static_cast<char>(
-        static_cast<std::int8_t>(r.snr_db + kNoiseFloorDbm)));
-    pkt.push_back(static_cast<char>(static_cast<std::int8_t>(kNoiseFloorDbm)));
+        static_cast<std::int8_t>(r.snr_db + pcapfmt::kNoiseFloorDbm)));
+    pkt.push_back(static_cast<char>(
+        static_cast<std::int8_t>(pcapfmt::kNoiseFloorDbm)));
 
     // 802.11 MAC header.
-    put<std::uint16_t>(pkt, frame_control(r.type, r.retry));
+    put<std::uint16_t>(pkt, pcapfmt::frame_control(r.type, r.retry));
     put<std::uint16_t>(pkt, 0);  // duration
     switch (r.type) {
       case mac::FrameType::kAck:
       case mac::FrameType::kCts:
-        put_mac_addr(pkt, r.dst);
+        pcapfmt::put_mac_addr(pkt, r.dst);
         break;
       case mac::FrameType::kRts:
-        put_mac_addr(pkt, r.dst);
-        put_mac_addr(pkt, r.src);
+        pcapfmt::put_mac_addr(pkt, r.dst);
+        pcapfmt::put_mac_addr(pkt, r.src);
         break;
       default:
-        put_mac_addr(pkt, r.dst);
-        put_mac_addr(pkt, r.src);
-        put_mac_addr(pkt, r.bssid);
+        pcapfmt::put_mac_addr(pkt, r.dst);
+        pcapfmt::put_mac_addr(pkt, r.src);
+        pcapfmt::put_mac_addr(pkt, r.bssid);
         put<std::uint16_t>(pkt, static_cast<std::uint16_t>(r.seq << 4));
         break;
     }
@@ -155,7 +73,7 @@ void write_pcap(const Trace& trace, const std::string& path) {
     put<std::uint32_t>(buf, static_cast<std::uint32_t>(r.time_us / 1000000));
     put<std::uint32_t>(buf, static_cast<std::uint32_t>(r.time_us % 1000000));
     put<std::uint32_t>(buf, static_cast<std::uint32_t>(pkt.size()));
-    put<std::uint32_t>(buf, kRadiotapLen + r.size_bytes);
+    put<std::uint32_t>(buf, pcapfmt::kRadiotapLen + r.size_bytes);
     buf += pkt;
   }
 
@@ -164,101 +82,8 @@ void write_pcap(const Trace& trace, const std::string& path) {
 }
 
 Trace read_pcap(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("read_pcap: cannot open " + path);
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  const std::string buf = ss.str();
-  if (buf.size() < 24) throw std::runtime_error("read_pcap: truncated header");
-  if (get<std::uint32_t>(buf.data()) != kPcapMagic) {
-    throw std::runtime_error("read_pcap: bad magic in " + path);
-  }
-  if (get<std::uint32_t>(buf.data() + 20) != kPcapLinkType) {
-    throw std::runtime_error("read_pcap: unsupported link type in " + path);
-  }
-
-  Trace trace;
-  std::size_t off = 24;
-  while (off + 16 <= buf.size()) {
-    const auto ts_sec = get<std::uint32_t>(buf.data() + off);
-    const auto ts_usec = get<std::uint32_t>(buf.data() + off + 4);
-    const auto incl = get<std::uint32_t>(buf.data() + off + 8);
-    const auto orig = get<std::uint32_t>(buf.data() + off + 12);
-    off += 16;
-    if (off + incl > buf.size()) {
-      throw std::runtime_error("read_pcap: truncated packet in " + path);
-    }
-    const char* pkt = buf.data() + off;
-    off += incl;
-
-    if (incl < 8) continue;  // radiotap header minimum
-    const auto rt_len = get<std::uint16_t>(pkt + 2);
-    const auto present = get<std::uint32_t>(pkt + 4);
-    if (rt_len > incl) continue;
-
-    CaptureRecord r;
-    r.time_us = static_cast<std::int64_t>(ts_sec) * 1000000 + ts_usec;
-    double signal = 0.0, noise = kNoiseFloorDbm;
-    // Walk the radiotap fields we understand (fixed order by bit number).
-    std::size_t f = 8;
-    if (present & kPresentRate) {
-      const auto units = static_cast<std::uint8_t>(pkt[f]);
-      f += 1;
-      switch (units) {
-        case 2: r.rate = phy::Rate::kR1; break;
-        case 4: r.rate = phy::Rate::kR2; break;
-        case 11: r.rate = phy::Rate::kR5_5; break;
-        case 22: r.rate = phy::Rate::kR11; break;
-        default: break;
-      }
-    }
-    if (present & kPresentChannel) {
-      f = (f + 1) & ~std::size_t{1};  // align 2
-      r.channel = freq_channel(get<std::uint16_t>(pkt + f));
-      f += 4;
-    }
-    if (present & kPresentAntSignal) {
-      signal = static_cast<std::int8_t>(pkt[f]);
-      f += 1;
-    }
-    if (present & kPresentAntNoise) {
-      noise = static_cast<std::int8_t>(pkt[f]);
-      f += 1;
-    }
-    r.snr_db = static_cast<float>(signal - noise);
-
-    const char* m = pkt + rt_len;
-    const std::size_t mac_len = incl - rt_len;
-    if (mac_len < 10) continue;
-    const auto fc = get<std::uint16_t>(m);
-    if (!decode_frame_control(fc, r.type)) continue;
-    r.retry = (fc & 0x0800) != 0;
-    if (mac_header_len(r.type) > mac_len) continue;
-    switch (r.type) {
-      case mac::FrameType::kAck:
-      case mac::FrameType::kCts:
-        r.dst = get_mac_addr(m + 4);
-        break;
-      case mac::FrameType::kRts:
-        r.dst = get_mac_addr(m + 4);
-        r.src = get_mac_addr(m + 10);
-        break;
-      default:
-        r.dst = get_mac_addr(m + 4);
-        r.src = get_mac_addr(m + 10);
-        r.bssid = get_mac_addr(m + 16);
-        r.seq = static_cast<std::uint16_t>(get<std::uint16_t>(m + 22) >> 4);
-        break;
-    }
-    r.size_bytes = orig > rt_len ? orig - rt_len : 0;
-    trace.records.push_back(r);
-  }
-
-  if (!trace.records.empty()) {
-    trace.start_us = trace.records.front().time_us;
-    trace.end_us = trace.records.back().time_us;
-  }
-  return trace;
+  PcapReader reader(path);
+  return read_all(reader);
 }
 
 }  // namespace wlan::trace

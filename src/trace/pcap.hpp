@@ -25,7 +25,10 @@ inline constexpr std::uint32_t kPcapLinkType = 127;
 void write_pcap(const Trace& trace, const std::string& path);
 
 /// Reads a pcap file produced by write_pcap (or any capture restricted to
-/// the radiotap subset above); throws on malformed input.
+/// the radiotap subset above); throws std::runtime_error on malformed input
+/// (bad magic/link type, truncated or oversized packet headers).  This is
+/// the in-memory convenience over trace/reader.hpp's chunked PcapReader —
+/// use the reader directly to analyze captures larger than memory.
 Trace read_pcap(const std::string& path);
 
 }  // namespace wlan::trace

@@ -1,0 +1,108 @@
+// pcap + radiotap wire-format internals shared by the writer (pcap.cpp) and
+// the streaming reader (reader.cpp).  Not part of the public trace API.
+//
+// Layout notes live in pcap.hpp; everything here is little-endian, matching
+// the classic pcap magic we emit (0xa1b2c3d4 written natively on LE hosts).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "mac/frame.hpp"
+#include "phy/rate.hpp"
+
+namespace wlan::trace::pcapfmt {
+
+inline constexpr std::uint32_t kPcapMagic = 0xa1b2c3d4;
+inline constexpr double kNoiseFloorDbm = -96.0;
+
+// Radiotap present bits we use.
+inline constexpr std::uint32_t kPresentRate = 1u << 2;
+inline constexpr std::uint32_t kPresentChannel = 1u << 3;
+inline constexpr std::uint32_t kPresentAntSignal = 1u << 5;
+inline constexpr std::uint32_t kPresentAntNoise = 1u << 6;
+
+// version(1) pad(1) len(2) present(4) rate(1) pad(1) chan_freq(2)
+// chan_flags(2) signal(1) noise(1)
+inline constexpr std::uint16_t kRadiotapLen = 16;
+
+template <typename T>
+void put(std::string& buf, T v) {
+  char tmp[sizeof(T)];
+  std::memcpy(tmp, &v, sizeof(T));
+  buf.append(tmp, sizeof(T));
+}
+
+template <typename T>
+T get(const char* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+inline std::uint16_t channel_freq(std::uint8_t ch) {
+  return static_cast<std::uint16_t>(2407 + 5 * ch);
+}
+
+inline std::uint8_t freq_channel(std::uint16_t freq) {
+  return static_cast<std::uint8_t>((freq - 2407) / 5);
+}
+
+/// 802.11 frame-control field for our frame types (type/subtype + retry).
+inline std::uint16_t frame_control(mac::FrameType t, bool retry) {
+  std::uint16_t type = 0, subtype = 0;
+  switch (t) {
+    case mac::FrameType::kData: type = 2; subtype = 0; break;
+    case mac::FrameType::kAck: type = 1; subtype = 13; break;
+    case mac::FrameType::kRts: type = 1; subtype = 11; break;
+    case mac::FrameType::kCts: type = 1; subtype = 12; break;
+    case mac::FrameType::kBeacon: type = 0; subtype = 8; break;
+    case mac::FrameType::kAssocReq: type = 0; subtype = 0; break;
+    case mac::FrameType::kAssocResp: type = 0; subtype = 1; break;
+    case mac::FrameType::kDisassoc: type = 0; subtype = 10; break;
+  }
+  std::uint16_t fc = static_cast<std::uint16_t>((type << 2) | (subtype << 4));
+  if (retry) fc |= 0x0800;
+  return fc;
+}
+
+inline bool decode_frame_control(std::uint16_t fc, mac::FrameType& out) {
+  const unsigned type = (fc >> 2) & 0x3;
+  const unsigned subtype = (fc >> 4) & 0xf;
+  if (type == 2 && subtype == 0) { out = mac::FrameType::kData; return true; }
+  if (type == 1 && subtype == 13) { out = mac::FrameType::kAck; return true; }
+  if (type == 1 && subtype == 11) { out = mac::FrameType::kRts; return true; }
+  if (type == 1 && subtype == 12) { out = mac::FrameType::kCts; return true; }
+  if (type == 0 && subtype == 8) { out = mac::FrameType::kBeacon; return true; }
+  if (type == 0 && subtype == 0) { out = mac::FrameType::kAssocReq; return true; }
+  if (type == 0 && subtype == 1) { out = mac::FrameType::kAssocResp; return true; }
+  if (type == 0 && subtype == 10) { out = mac::FrameType::kDisassoc; return true; }
+  return false;
+}
+
+inline void put_mac_addr(std::string& buf, mac::Addr a) {
+  buf.push_back(0x02);  // locally administered
+  buf.push_back(0x00);
+  buf.push_back(0x00);
+  buf.push_back(0x00);
+  buf.push_back(static_cast<char>(a >> 8));
+  buf.push_back(static_cast<char>(a & 0xff));
+}
+
+inline mac::Addr get_mac_addr(const char* p) {
+  return static_cast<mac::Addr>((static_cast<std::uint8_t>(p[4]) << 8) |
+                                static_cast<std::uint8_t>(p[5]));
+}
+
+/// MAC header bytes we serialize per type.
+inline std::size_t mac_header_len(mac::FrameType t) {
+  switch (t) {
+    case mac::FrameType::kAck:
+    case mac::FrameType::kCts: return 10;  // fc, dur, addr1
+    case mac::FrameType::kRts: return 16;  // fc, dur, addr1, addr2
+    default: return 24;                    // fc, dur, addr1-3, seq
+  }
+}
+
+}  // namespace wlan::trace::pcapfmt

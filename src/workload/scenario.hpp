@@ -13,6 +13,7 @@
 #include <string>
 
 #include "sim/network.hpp"
+#include "trace/merge.hpp"
 #include "workload/floorplan.hpp"
 #include "workload/traffic.hpp"
 #include "workload/user.hpp"
@@ -111,6 +112,15 @@ struct CellConfig {
   /// 11 Mbps SNR threshold plus this margin (paper §7's remedy).
   double auto_power_margin_db = -1.0;
   double sniffer_capacity_fps = 2500.0;
+  /// Sniffers watching the cell, all on the cell channel.  1 (default)
+  /// keeps the historic single-sniffer fixture byte-for-byte; more spreads
+  /// extra sniffers across the room with skewed clocks, and the returned
+  /// trace is the clock-corrected, deduplicated trace::merge of their
+  /// captures — the paper's multi-sniffer pipeline end to end.
+  int num_sniffers = 1;
+  /// Clock skew of sniffer j relative to sniffer 0 (the reference):
+  /// j * sniffer_clock_skew_us.  Only applied when num_sniffers > 1.
+  std::int64_t sniffer_clock_skew_us = 1500;
 };
 
 struct CellResult {
@@ -118,8 +128,14 @@ struct CellResult {
   std::vector<trace::TxRecord> ground_truth; ///< omniscient log
   std::uint64_t medium_transmissions = 0;
   std::uint64_t medium_collisions = 0;
-  sim::SnifferStats sniffer;                 ///< loss-process breakdown
+  sim::SnifferStats sniffer;                 ///< sniffer 0's loss breakdown
   double duration_s = 0.0;                   ///< post-warmup length
+  /// Multi-sniffer capture (num_sniffers > 1): the raw per-sniffer traces
+  /// exactly as each sniffer wrote them (skewed clocks, full duration), and
+  /// what the merge recovered.  Empty / zero for the single-sniffer fixture.
+  std::vector<trace::Trace> sniffer_traces;
+  trace::ClockOffsets clock_offsets;
+  trace::MergeStats merge_stats;
 };
 
 /// Builds, runs and harvests a cell (self-contained; used by benches/tests).

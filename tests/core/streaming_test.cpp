@@ -1,0 +1,232 @@
+// StreamingAnalyzer vs TraceAnalyzer: the push-based path must reproduce
+// the batch path exactly — every per-second field, every acceptance sample,
+// every figure bin, byte for byte.
+#include "core/streaming.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/report.hpp"
+#include "workload/scenario.hpp"
+
+namespace wlan::core {
+namespace {
+
+workload::CellResult congested_cell(std::uint64_t seed = 62) {
+  workload::CellConfig cell;
+  cell.seed = seed;
+  cell.num_users = 12;
+  cell.per_user_pps = 40.0;
+  cell.duration_s = 8.0;
+  cell.warmup_s = 1.0;
+  cell.rtscts_fraction = 0.2;  // exercise RTS/CTS counters too
+  cell.profile.closed_loop = true;
+  cell.profile.window = 2;
+  return workload::run_cell(cell);
+}
+
+void expect_seconds_equal(const SecondStats& a, const SecondStats& b,
+                          std::size_t i) {
+  EXPECT_EQ(a.second, b.second) << i;
+  EXPECT_DOUBLE_EQ(a.cbt_us, b.cbt_us) << i;
+  EXPECT_EQ(a.bits_all, b.bits_all) << i;
+  EXPECT_EQ(a.bits_good, b.bits_good) << i;
+  EXPECT_EQ(a.data, b.data) << i;
+  EXPECT_EQ(a.ack, b.ack) << i;
+  EXPECT_EQ(a.rts, b.rts) << i;
+  EXPECT_EQ(a.cts, b.cts) << i;
+  EXPECT_EQ(a.beacon, b.beacon) << i;
+  EXPECT_EQ(a.mgmt, b.mgmt) << i;
+  for (std::size_t r = 0; r < phy::kNumRates; ++r) {
+    EXPECT_DOUBLE_EQ(a.cbt_us_by_rate[r], b.cbt_us_by_rate[r]) << i;
+    EXPECT_EQ(a.bytes_by_rate[r], b.bytes_by_rate[r]) << i;
+    EXPECT_EQ(a.first_attempt_acked[r], b.first_attempt_acked[r]) << i;
+    EXPECT_EQ(a.acked_by_rate[r], b.acked_by_rate[r]) << i;
+    EXPECT_EQ(a.retries_by_rate[r], b.retries_by_rate[r]) << i;
+  }
+  EXPECT_EQ(a.tx_by_category, b.tx_by_category) << i;
+}
+
+TEST(StreamingAnalyzerTest, CollectingModeEqualsBatchAnalyze) {
+  const auto cell = congested_cell();
+  const auto batch = TraceAnalyzer{}.analyze(cell.trace);
+
+  StreamingAnalyzer streaming;
+  streaming.set_bounds(cell.trace.start_us, cell.trace.end_us);
+  for (const auto& r : cell.trace.records) streaming.push(r);
+  const auto pushed = streaming.finish();
+
+  ASSERT_EQ(pushed.seconds.size(), batch.seconds.size());
+  for (std::size_t i = 0; i < batch.seconds.size(); ++i) {
+    expect_seconds_equal(pushed.seconds[i], batch.seconds[i], i);
+  }
+  ASSERT_EQ(pushed.acceptance.size(), batch.acceptance.size());
+  for (std::size_t i = 0; i < batch.acceptance.size(); ++i) {
+    EXPECT_EQ(pushed.acceptance[i].second, batch.acceptance[i].second);
+    EXPECT_EQ(pushed.acceptance[i].category, batch.acceptance[i].category);
+    EXPECT_DOUBLE_EQ(pushed.acceptance[i].delay_us,
+                     batch.acceptance[i].delay_us);
+  }
+  EXPECT_EQ(pushed.total_frames, batch.total_frames);
+  EXPECT_EQ(pushed.total_data, batch.total_data);
+  EXPECT_EQ(pushed.total_acks, batch.total_acks);
+  EXPECT_EQ(pushed.total_rts, batch.total_rts);
+  EXPECT_EQ(pushed.total_cts, batch.total_cts);
+  EXPECT_EQ(pushed.start_us, batch.start_us);
+  ASSERT_EQ(pushed.senders.size(), batch.senders.size());
+  for (const auto& [addr, st] : batch.senders) {
+    const auto it = pushed.senders.find(addr);
+    ASSERT_NE(it, pushed.senders.end());
+    EXPECT_EQ(it->second.data_tx, st.data_tx);
+    EXPECT_EQ(it->second.data_acked, st.data_acked);
+    EXPECT_EQ(it->second.rts_tx, st.rts_tx);
+    EXPECT_EQ(it->second.uses_rtscts, st.uses_rtscts);
+  }
+}
+
+/// Drain mode: seconds and samples leave through the sink, the result's
+/// vectors stay empty, and the figure accumulator state is bit-identical
+/// to the batch add() path — checked through the rendered CSV bytes.
+TEST(StreamingAnalyzerTest, DrainModeFiguresAreByteIdentical) {
+  const auto cell = congested_cell();
+  const auto batch = TraceAnalyzer{}.analyze(cell.trace);
+  FigureAccumulator batch_acc;
+  batch_acc.add(batch);
+
+  FigureAccumulator drained_acc;
+  FigureStreamSink sink(drained_acc);
+  StreamingAnalyzer streaming({}, &sink);
+  streaming.set_bounds(cell.trace.start_us, cell.trace.end_us);
+  for (const auto& r : cell.trace.records) streaming.push(r);
+  const auto drained = streaming.finish();
+  drained_acc.add_senders(drained.senders);
+
+  EXPECT_TRUE(drained.seconds.empty());
+  EXPECT_TRUE(drained.acceptance.empty());
+  EXPECT_EQ(drained.total_frames, batch.total_frames);
+  EXPECT_EQ(drained_acc.seconds_absorbed(), batch_acc.seconds_absorbed());
+
+  const std::string dir = ::testing::TempDir();
+  const auto bytes_of = [](const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::string{std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>()};
+  };
+  const std::pair<FigureSeries, FigureSeries> figs[] = {
+      {batch_acc.fig06_throughput_goodput(),
+       drained_acc.fig06_throughput_goodput()},
+      {batch_acc.fig08_busytime_share(), drained_acc.fig08_busytime_share()},
+      {batch_acc.fig14_first_attempt_acked(),
+       drained_acc.fig14_first_attempt_acked()},
+      {batch_acc.fig15_acceptance_delay(),
+       drained_acc.fig15_acceptance_delay()},
+  };
+  for (const auto& [a, b] : figs) {
+    const std::string pa = dir + "batch_fig.csv", pb = dir + "drain_fig.csv";
+    write_figure_csv(a, pa);
+    write_figure_csv(b, pb);
+    EXPECT_EQ(bytes_of(pa), bytes_of(pb)) << a.title;
+    std::remove(pa.c_str());
+    std::remove(pb.c_str());
+  }
+
+  // Fig. 5-style per-second series: the streaming CSV sink against the
+  // batch writer.
+  const std::string ps = dir + "stream_seconds.csv";
+  const std::string pm = dir + "batch_seconds.csv";
+  {
+    FigureAccumulator acc2;
+    FigureStreamSink figures(acc2);
+    SecondsCsvSink seconds(ps);
+    // Both sinks in one pass, like wlan_analyze.
+    TeeSink tee({&figures, &seconds});
+    StreamingAnalyzer s2({}, &tee);
+    s2.set_bounds(cell.trace.start_us, cell.trace.end_us);
+    for (const auto& r : cell.trace.records) s2.push(r);
+    (void)s2.finish();
+  }
+  write_seconds_csv(batch, pm);
+  EXPECT_EQ(bytes_of(ps), bytes_of(pm));
+  std::remove(ps.c_str());
+  std::remove(pm.c_str());
+}
+
+TEST(StreamingAnalyzerTest, UnsortedPushThrows) {
+  StreamingAnalyzer streaming;
+  trace::CaptureRecord a, b, c;
+  a.time_us = 10'000;
+  b.time_us = 5'000;  // 5 ms backwards: far beyond capture jitter
+  c.time_us = 20'000;
+  streaming.push(a);
+  streaming.push(b);  // b is only held; a has no successor issue yet
+  EXPECT_THROW(streaming.push(c), std::invalid_argument);
+}
+
+TEST(StreamingAnalyzerTest, BoundsPadEmptyTrailingSeconds) {
+  StreamingAnalyzer streaming;
+  streaming.set_bounds(0, 5'500'000);  // 5.5 s session, one early frame
+  trace::CaptureRecord r;
+  r.time_us = 100;
+  r.type = mac::FrameType::kData;
+  r.src = 2;
+  r.size_bytes = 500;
+  streaming.push(r);
+  const auto result = streaming.finish();
+  ASSERT_EQ(result.seconds.size(), 6u);
+  EXPECT_GT(result.seconds[0].data, 0u);
+  for (std::size_t i = 1; i < 6; ++i) {
+    EXPECT_EQ(result.seconds[i].data, 0u) << i;
+    EXPECT_EQ(result.seconds[i].second, static_cast<std::int64_t>(i));
+  }
+}
+
+/// Regression: session bounds extending far past the last ACK must not
+/// drop acceptance samples in sink mode (the finish-time padding used to
+/// prune the sample's second out of the utilization tail before flushing).
+TEST(StreamingAnalyzerTest, LongTrailingPaddingKeepsAcceptanceSamples) {
+  trace::Trace t;
+  trace::CaptureRecord d;
+  d.time_us = 100;
+  d.type = mac::FrameType::kData;
+  d.src = 2;
+  d.dst = 3;
+  d.seq = 5;
+  d.size_bytes = 500;
+  d.rate = phy::Rate::kR11;
+  trace::CaptureRecord a;
+  a.time_us = 700;  // within data airtime + SIFS + slack of the DATA start
+  a.type = mac::FrameType::kAck;
+  a.dst = 2;
+  a.size_bytes = mac::kAckBytes;
+  t.records = {d, a};
+  t.start_us = 0;
+  t.end_us = 25'000'000;  // 25 s session, all quiet after the exchange
+
+  const auto batch = TraceAnalyzer{}.analyze(t);
+  ASSERT_EQ(batch.acceptance.size(), 1u);
+
+  struct Counter final : AnalysisSink {
+    std::size_t seconds = 0, samples = 0;
+    void on_second(const SecondStats&) override { ++seconds; }
+    void on_acceptance(const AcceptanceSample&, double) override { ++samples; }
+  } counter;
+  StreamingAnalyzer streaming({}, &counter);
+  streaming.set_bounds(t.start_us, t.end_us);
+  for (const auto& r : t.records) streaming.push(r);
+  (void)streaming.finish();
+  EXPECT_EQ(counter.seconds, batch.seconds.size());
+  EXPECT_EQ(counter.samples, 1u);
+}
+
+TEST(StreamingAnalyzerTest, NoRecordsMeansEmptyResult) {
+  StreamingAnalyzer streaming;
+  streaming.set_bounds(0, 10'000'000);
+  const auto result = streaming.finish();
+  EXPECT_TRUE(result.seconds.empty());
+  EXPECT_EQ(result.total_frames, 0u);
+}
+
+}  // namespace
+}  // namespace wlan::core

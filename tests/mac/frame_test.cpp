@@ -16,7 +16,7 @@ TEST(FrameTest, ControlFrameSizes) {
   EXPECT_EQ(make_ack(1, 2, 6).size_bytes(), kAckBytes);
   EXPECT_EQ(make_cts(1, 2, 6, Microseconds{0}).size_bytes(), kCtsBytes);
   EXPECT_EQ(make_rts(1, 2, 3, 6, Microseconds{0}).size_bytes(), kRtsBytes);
-  EXPECT_EQ(make_beacon(1, 6).size_bytes(), kBeaconBytes);
+  EXPECT_EQ(make_beacon(1, 6, 9).size_bytes(), kBeaconBytes);
 }
 
 TEST(FrameTest, FactoryFieldsPopulated) {
@@ -43,7 +43,7 @@ TEST(FrameTest, ControlFramesUseBasicRate) {
   EXPECT_EQ(make_ack(1, 2, 6).rate, phy::Rate::kR1);
   EXPECT_EQ(make_cts(1, 2, 6, Microseconds{100}).rate, phy::Rate::kR1);
   EXPECT_EQ(make_rts(1, 2, 3, 6, Microseconds{100}).rate, phy::Rate::kR1);
-  EXPECT_EQ(make_beacon(1, 6).rate, phy::Rate::kR1);
+  EXPECT_EQ(make_beacon(1, 6, 9).rate, phy::Rate::kR1);
 }
 
 TEST(FrameTest, RtsCtsCarryNav) {
@@ -54,7 +54,7 @@ TEST(FrameTest, RtsCtsCarryNav) {
 }
 
 TEST(FrameTest, BeaconIsBroadcastFromBssid) {
-  const Frame b = make_beacon(77, 1);
+  const Frame b = make_beacon(77, 1, 9);
   EXPECT_EQ(b.dst, kBroadcast);
   EXPECT_EQ(b.src, 77);
   EXPECT_EQ(b.bssid, 77);

@@ -154,5 +154,15 @@ TEST_F(PcapTest, EmptyTraceRoundTrips) {
   EXPECT_TRUE(read_pcap(path_).records.empty());
 }
 
+TEST_F(PcapTest, NegativeTimestampRejected) {
+  // pcap sec/usec are unsigned; a negative stamp (possible with a negative
+  // sniffer clock offset) must be a clear error, not a silent ~4.29e9 s wrap.
+  Trace t;
+  CaptureRecord r = data_record();
+  r.time_us = -1400;
+  t.records.push_back(r);
+  EXPECT_THROW(write_pcap(t, path_), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace wlan::trace
