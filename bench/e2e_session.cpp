@@ -1,0 +1,202 @@
+// End-to-end engine benchmark: the canonical workloads whose wall-clock
+// bounds every figure sweep, timed as whole pipelines (simulate -> capture ->
+// merge -> analyze) and emitted as BENCH_e2e.json.
+//
+// Two workloads:
+//   E2E_Fig06Sweep      — the frozen standard utilization sweep behind
+//                         Figures 6-15 (45 runs on the experiment runner).
+//   E2E_PlenarySession  — one IETF62 plenary session (workload::run_session)
+//                         plus a full trace analysis, the paper's §4-§6
+//                         pipeline in one call.
+//
+// The JSON mirrors google-benchmark's schema (benchmarks[].name/cpu_time/
+// time_unit) so scripts/perf_guard.py guards it exactly like the micro
+// baseline, including the BM_RngNext machine-speed calibration entry it
+// normalizes by.  Refresh the committed baseline with:
+//
+//     ./build/bench_e2e_session --out bench/BENCH_e2e_baseline.json
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/analyzer.hpp"
+#include "core/report.hpp"
+#include "util/rng.hpp"
+#include "workload/scenario.hpp"
+
+namespace {
+
+using namespace wlan;
+
+struct Timing {
+  double wall_ns = 0.0;
+  double cpu_ns = 0.0;
+};
+
+template <class Fn>
+Timing timed(Fn&& fn) {
+  const auto w0 = std::chrono::steady_clock::now();
+  const std::clock_t c0 = std::clock();
+  fn();
+  const std::clock_t c1 = std::clock();
+  const auto w1 = std::chrono::steady_clock::now();
+  Timing t;
+  t.wall_ns = std::chrono::duration<double, std::nano>(w1 - w0).count();
+  t.cpu_ns = 1e9 * static_cast<double>(c1 - c0) / CLOCKS_PER_SEC;
+  return t;
+}
+
+struct Row {
+  std::string name;
+  std::int64_t iterations = 1;
+  Timing t;
+  double sim_seconds = 0.0;  ///< simulated network time covered
+  std::int64_t records = 0;  ///< capture records through the pipeline
+};
+
+void write_json(const std::string& path, const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "e2e_session: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"context\": {\n"
+                  "    \"benchmark\": \"bench_e2e_session\",\n"
+                  "    \"note\": \"end-to-end engine trajectory; cpu_time is "
+                  "per-iteration ns, normalized by BM_RngNext in "
+                  "scripts/perf_guard.py\"\n  },\n  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    const double per_iter_wall = r.t.wall_ns / static_cast<double>(r.iterations);
+    const double per_iter_cpu = r.t.cpu_ns / static_cast<double>(r.iterations);
+    std::fprintf(f,
+                 "    {\n"
+                 "      \"name\": \"%s\",\n"
+                 "      \"run_type\": \"iteration\",\n"
+                 "      \"iterations\": %lld,\n"
+                 "      \"real_time\": %.1f,\n"
+                 "      \"cpu_time\": %.1f,\n"
+                 "      \"time_unit\": \"ns\",\n"
+                 "      \"sim_seconds\": %.3f,\n"
+                 "      \"records\": %lld\n"
+                 "    }%s\n",
+                 r.name.c_str(), static_cast<long long>(r.iterations),
+                 per_iter_wall, per_iter_cpu, r.sim_seconds,
+                 static_cast<long long>(r.records),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+[[noreturn]] void usage(int code) {
+  std::fprintf(code == 0 ? stdout : stderr,
+               "bench_e2e_session: end-to-end engine benchmark -> JSON\n\n"
+               "  --out FILE             output JSON (default BENCH_e2e.json)\n"
+               "  --threads N            runner threads for the sweep "
+               "(default 1: stable wall-clock)\n"
+               "  --sweep-duration S     per-run simulated seconds "
+               "(default 18, the frozen sweep)\n"
+               "  --plenary-duration S   plenary simulated seconds "
+               "(default 60)\n"
+               "  --scale F              plenary population scale "
+               "(default 1.0: the full 38-AP / 523-user venue)\n"
+               "  --help                 this text\n");
+  std::exit(code);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out = "BENCH_e2e.json";
+  int threads = 1;
+  double sweep_duration = 18.0;
+  double plenary_duration = 60.0;
+  double scale = 1.0;
+
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(2);
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--help") == 0) usage(0);
+    else if (std::strcmp(argv[i], "--out") == 0) out = value();
+    else if (std::strcmp(argv[i], "--threads") == 0) threads = std::atoi(value());
+    else if (std::strcmp(argv[i], "--sweep-duration") == 0)
+      sweep_duration = std::atof(value());
+    else if (std::strcmp(argv[i], "--plenary-duration") == 0)
+      plenary_duration = std::atof(value());
+    else if (std::strcmp(argv[i], "--scale") == 0) scale = std::atof(value());
+    else usage(2);
+  }
+
+  std::vector<Row> rows;
+
+  // Machine-speed calibration, same pure-ALU loop as micro_perf's BM_RngNext.
+  {
+    Row r;
+    r.name = "BM_RngNext";
+    r.iterations = 1 << 26;
+    util::Rng rng(1);
+    std::uint64_t acc = 0;
+    r.t = timed([&] {
+      for (std::int64_t k = 0; k < r.iterations; ++k) acc += rng.next();
+    });
+    // Defeat dead-code elimination; any bit of acc will do.
+    if ((acc & 1) != 0) std::fputs("", stdout);
+    rows.push_back(std::move(r));
+  }
+
+  // The frozen fig06/figures sweep on the experiment runner.
+  {
+    Row r;
+    r.name = "E2E_Fig06Sweep";
+    bench::SweepOptions opt;
+    opt.duration_s = sweep_duration;
+    auto spec = bench::standard_spec("e2e_fig06", opt);
+    exp::RunnerOptions ropt;
+    ropt.threads = threads;
+    const std::size_t runs = exp::expand(spec).size();
+    exp::ExperimentResult result;
+    r.t = timed([&] { result = exp::run_experiment(spec, ropt); });
+    r.sim_seconds = sweep_duration * static_cast<double>(runs);
+    for (const exp::RunRecord& run : result.runs) {
+      r.records += static_cast<std::int64_t>(run.frames);
+    }
+    std::fprintf(stderr,
+                 "E2E_Fig06Sweep: %zu runs, %.2f s wall, knee %.0f%%\n", runs,
+                 r.t.wall_ns / 1e9, result.figures.knee_utilization());
+    rows.push_back(std::move(r));
+  }
+
+  // One plenary session through the full capture-and-analyze pipeline.
+  {
+    Row r;
+    r.name = "E2E_PlenarySession";
+    workload::ScenarioConfig cfg;
+    cfg.seed = 62;
+    cfg.duration_s = plenary_duration;
+    cfg.scale = scale;
+    r.t = timed([&] {
+      const auto session =
+          workload::run_session(cfg, workload::SessionKind::kPlenary);
+      const auto analysis = core::TraceAnalyzer{}.analyze(session.trace);
+      core::FigureAccumulator acc;
+      acc.add(analysis);
+      r.records = static_cast<std::int64_t>(session.trace.records.size());
+    });
+    r.sim_seconds = plenary_duration;
+    std::fprintf(stderr, "E2E_PlenarySession: %.2f s wall, %lld records\n",
+                 r.t.wall_ns / 1e9, static_cast<long long>(r.records));
+    rows.push_back(std::move(r));
+  }
+
+  write_json(out, rows);
+  std::fprintf(stderr, "wrote %s\n", out.c_str());
+  return 0;
+}

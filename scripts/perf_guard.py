@@ -1,18 +1,27 @@
 #!/usr/bin/env python3
-"""Perf guardrail: compare a bench_micro_perf JSON run against the committed
-baseline and fail on regression.
+"""Perf guardrail: compare bench JSON runs against committed baselines and
+fail on regression.
 
-Usage: perf_guard.py CURRENT.json BASELINE.json [--threshold PCT]
+Usage: perf_guard.py CURRENT.json BASELINE.json [CURRENT2.json BASELINE2.json ...]
+                     [--threshold PCT [PCT2 ...]]
+
+Accepts one or more CURRENT/BASELINE pairs (e.g. the bench_micro_perf run
+against bench/BENCH_micro_baseline.json and the bench_e2e_session run
+against bench/BENCH_e2e_baseline.json); every pair is guarded in one
+invocation and any regression in any pair fails the run.  --threshold takes
+either one value applied to all pairs or one value per pair (the e2e rows
+measure whole pipelines and warrant a wider margin than the micro ones).
 
 Raw nanosecond baselines are machine-specific, so every benchmark is first
-normalized by the same run's BM_RngNext time (a pure-ALU benchmark that
-scales with single-core speed).  A benchmark regresses when its normalized
-time exceeds the baseline's by more than --threshold percent (default 25).
-New benchmarks missing from the baseline are reported but never fail the
-run; refresh the baseline with:
+normalized by its own file's BM_RngNext time (a pure-ALU benchmark that
+scales with single-core speed; both bench binaries emit it).  A benchmark
+regresses when its normalized time exceeds the baseline's by more than
+--threshold percent (default 25).  New benchmarks missing from the baseline
+are reported but never fail the run; refresh the baselines with:
 
     ./build/bench_micro_perf --benchmark_format=json \
         --benchmark_min_time=0.5 > bench/BENCH_micro_baseline.json
+    ./build/bench_e2e_session --out bench/BENCH_e2e_baseline.json
 """
 import argparse
 import json
@@ -33,20 +42,15 @@ def load(path):
     return out
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("current")
-    ap.add_argument("baseline")
-    ap.add_argument("--threshold", type=float, default=25.0,
-                    help="allowed normalized slowdown, percent (default 25)")
-    args = ap.parse_args()
-
-    current, baseline = load(args.current), load(args.baseline)
-    for name, data in (("current", current), ("baseline", baseline)):
+def guard_pair(current_path, baseline_path, threshold):
+    """Returns the list of regressed benchmark names for one pair."""
+    current, baseline = load(current_path), load(baseline_path)
+    for name, data in ((current_path, current), (baseline_path, baseline)):
         if REFERENCE not in data:
-            sys.exit(f"perf_guard: {name} run lacks {REFERENCE}; cannot normalize")
+            sys.exit(f"perf_guard: {name} lacks {REFERENCE}; cannot normalize")
 
     cur_ref, base_ref = current[REFERENCE], baseline[REFERENCE]
+    print(f"== {current_path} vs {baseline_path}")
     print(f"machine-speed reference {REFERENCE}: "
           f"current {cur_ref:.2f} ns vs baseline {base_ref:.2f} ns")
 
@@ -59,7 +63,7 @@ def main():
             continue
         ratio = (current[name] / cur_ref) / (baseline[name] / base_ref)
         verdict = "ok"
-        if ratio > 1.0 + args.threshold / 100.0:
+        if ratio > 1.0 + threshold / 100.0:
             verdict = "REGRESSION"
             failures.append(name)
         print(f"  {verdict:10s} {name}: normalized x{ratio:.3f} "
@@ -67,10 +71,36 @@ def main():
 
     for name in sorted(set(baseline) - set(current) - {REFERENCE}):
         print(f"  GONE  {name}: in baseline but not in this run")
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("pairs", nargs="+", metavar="JSON",
+                    help="CURRENT BASELINE [CURRENT2 BASELINE2 ...]")
+    ap.add_argument("--threshold", type=float, nargs="+", default=[25.0],
+                    help="allowed normalized slowdown, percent: one value "
+                         "for all pairs or one per pair (default 25)")
+    args = ap.parse_args()
+    if len(args.pairs) % 2 != 0:
+        ap.error("expected an even number of files (CURRENT BASELINE pairs)")
+    npairs = len(args.pairs) // 2
+    if len(args.threshold) == 1:
+        thresholds = args.threshold * npairs
+    elif len(args.threshold) == npairs:
+        thresholds = args.threshold
+    else:
+        ap.error(f"--threshold takes 1 or {npairs} values, "
+                 f"got {len(args.threshold)}")
+
+    failures = []
+    for i in range(npairs):
+        failures += guard_pair(args.pairs[2 * i], args.pairs[2 * i + 1],
+                               thresholds[i])
 
     if failures:
-        print(f"perf_guard: {len(failures)} regression(s) beyond "
-              f"{args.threshold:.0f}%: {', '.join(failures)}")
+        print(f"perf_guard: {len(failures)} regression(s): "
+              f"{', '.join(failures)}")
         return 1
     print("perf_guard: OK")
     return 0

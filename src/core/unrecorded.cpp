@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "util/flat_map.hpp"
+
 namespace wlan::core {
 
 namespace {
@@ -35,7 +37,10 @@ UnrecordedReport estimate_unrecorded(const trace::Trace& trace,
   for (mac::Addr b : bssids) per_ap[b].bssid = b;
 
   // A client's most recent BSSID, for attributing misses of client frames.
-  std::unordered_map<mac::Addr, mac::Addr> client_bssid;
+  // Point lookups on the per-record hot path (never iterated), so this is a
+  // flat open-addressing table; broadcast is its reserved empty key and is
+  // filtered before every insert below.
+  util::FlatMap<mac::Addr, mac::Addr, mac::kBroadcast> client_bssid;
 
   auto attribute = [&](mac::Addr station) {
     // `station` transmitted the missed frame; find the AP it talks through.
@@ -43,8 +48,8 @@ UnrecordedReport estimate_unrecorded(const trace::Trace& trace,
       ++per_ap[station].missed;
       return;
     }
-    const auto it = client_bssid.find(station);
-    if (it != client_bssid.end()) ++per_ap[it->second].missed;
+    const mac::Addr* it = client_bssid.find(station);
+    if (it != nullptr) ++per_ap[*it].missed;
   };
 
   // Pending RTS exchanges for the missed-CTS rule: src -> (time, dst).
@@ -53,7 +58,7 @@ UnrecordedReport estimate_unrecorded(const trace::Trace& trace,
     mac::Addr dst;
     bool cts_seen;
   };
-  std::unordered_map<mac::Addr, PendingRts> pending_rts;
+  util::FlatMap<mac::Addr, PendingRts, mac::kBroadcast> pending_rts;
 
   for (std::size_t i = 0; i < recs.size(); ++i) {
     const trace::CaptureRecord& r = recs[i];
@@ -62,9 +67,11 @@ UnrecordedReport estimate_unrecorded(const trace::Trace& trace,
     if (is_data_like(r.type) || r.type == mac::FrameType::kBeacon) {
       if (r.bssid != mac::kNoAddr) {
         ++per_ap[r.bssid].captured;
-        if (!bssids.count(r.src)) client_bssid[r.src] = r.bssid;
+        if (!bssids.count(r.src) && r.src != mac::kBroadcast) {
+          client_bssid.insert_or_assign(r.src, r.bssid);
+        }
         if (!bssids.count(r.dst) && r.dst != mac::kBroadcast) {
-          client_bssid[r.dst] = r.bssid;
+          client_bssid.insert_or_assign(r.dst, r.bssid);
         }
       }
     } else {
@@ -72,8 +79,8 @@ UnrecordedReport estimate_unrecorded(const trace::Trace& trace,
       if (bssids.count(r.dst)) {
         ++per_ap[r.dst].captured;
       } else {
-        const auto it = client_bssid.find(r.dst);
-        if (it != client_bssid.end()) ++per_ap[it->second].captured;
+        const mac::Addr* it = client_bssid.find(r.dst);
+        if (it != nullptr) ++per_ap[*it].captured;
       }
     }
 
@@ -107,27 +114,30 @@ UnrecordedReport estimate_unrecorded(const trace::Trace& trace,
           attribute(r.dst);  // the RTS's sender
         }
         // Mark any pending RTS from this exchange as answered.
-        const auto it = pending_rts.find(r.dst);
-        if (it != pending_rts.end()) it->second.cts_seen = true;
+        PendingRts* it = pending_rts.find(r.dst);
+        if (it != nullptr) it->cts_seen = true;
         break;
       }
       case mac::FrameType::kRts:
-        pending_rts[r.src] = PendingRts{r.time_us, r.dst, false};
+        if (r.src != mac::kBroadcast) {
+          pending_rts.insert_or_assign(r.src,
+                                       PendingRts{r.time_us, r.dst, false});
+        }
         break;
       default:
         if (is_data_like(r.type)) {
           // RTS->CTS->DATA atomicity: DATA following our recorded RTS
           // without a CTS in between means the CTS went unrecorded.
-          const auto it = pending_rts.find(r.src);
-          if (it != pending_rts.end()) {
-            if (it->second.dst == r.dst &&
-                r.time_us - it->second.time_us <= cfg.rts_data_window.count()) {
-              if (!it->second.cts_seen) {
+          const PendingRts* it = pending_rts.find(r.src);
+          if (it != nullptr) {
+            if (it->dst == r.dst &&
+                r.time_us - it->time_us <= cfg.rts_data_window.count()) {
+              if (!it->cts_seen) {
                 ++report.totals.missed_cts;
                 attribute(r.dst);  // the CTS sender is the DATA's receiver
               }
             }
-            pending_rts.erase(it);
+            pending_rts.erase(r.src);
           }
         }
         break;

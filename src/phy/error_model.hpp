@@ -12,6 +12,8 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
+#include <vector>
 
 #include "phy/rate.hpp"
 
@@ -27,6 +29,54 @@ double frame_success_probability(Rate rate, std::uint32_t bytes, double snr_db);
 /// SNR (dB) needed for ~`target` frame success probability at `bytes` size.
 /// Used by the SNR-threshold rate controller and by tests.
 double required_snr_db(Rate rate, std::uint32_t bytes, double target);
+
+/// Direct-mapped memo for frame_success_probability.
+///
+/// The channel evaluates millions of receptions per run, but on static links
+/// the (rate, size, SINR) triple repeats endlessly: every ACK/CTS/beacon has
+/// a fixed size and every non-overlapped frame on a link sees the same SINR
+/// run-round.  frame_success_probability burns four libm pow() calls; this
+/// cache keys on the *exact* triple (SINR compared by bit pattern) so a hit
+/// returns the identical double the direct computation would — simulations
+/// stay byte-for-byte deterministic.  Not thread-safe: own one per channel
+/// or sniffer, never share across runner threads.
+class FrameSuccessCache {
+ public:
+  FrameSuccessCache() : entries_(kEntries) {}
+
+  double operator()(Rate rate, std::uint32_t bytes, double snr_db) {
+    std::uint64_t snr_bits;
+    std::memcpy(&snr_bits, &snr_db, sizeof snr_bits);
+    const std::uint64_t key =
+        (snr_bits * 0x9E3779B97F4A7C15ULL) ^
+        (static_cast<std::uint64_t>(bytes) << 8) ^
+        static_cast<std::uint64_t>(rate);
+    Entry& e = entries_[(key * 0xC2B2AE3D27D4EB4FULL) >> (64 - kLogEntries)];
+    if (e.snr_bits != snr_bits || e.bytes != bytes || e.rate != rate ||
+        !e.valid) {
+      e.snr_bits = snr_bits;
+      e.bytes = bytes;
+      e.rate = rate;
+      e.valid = true;
+      e.p = frame_success_probability(rate, bytes, snr_db);
+    }
+    return e.p;
+  }
+
+ private:
+  static constexpr unsigned kLogEntries = 12;
+  static constexpr std::size_t kEntries = std::size_t{1} << kLogEntries;
+
+  struct Entry {
+    std::uint64_t snr_bits = 0;
+    double p = 0.0;
+    std::uint32_t bytes = 0;
+    Rate rate = Rate::kR1;
+    bool valid = false;
+  };
+
+  std::vector<Entry> entries_;
+};
 
 /// SINR margin (dB) above which the stronger of two overlapping frames is
 /// still captured by the receiver (physical-layer capture effect).

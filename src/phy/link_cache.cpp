@@ -1,0 +1,21 @@
+#include "phy/link_cache.hpp"
+
+namespace wlan::phy {
+
+LinkBudgetCache::LinkId LinkBudgetCache::add_endpoint(const Position& position) {
+  const auto id = static_cast<LinkId>(positions_.size());
+  positions_.push_back(position);
+  // No reserve: an exact-size reserve per endpoint would reallocate the
+  // O(N^2) triangle on every registration (O(N^3) copying at scenario
+  // setup); push_back's geometric growth keeps the total linear in the
+  // final table size.
+  for (LinkId other = 0; other < id; ++other) {
+    table_.push_back(prop_->rx_power_dbm(position, positions_[other]));
+  }
+  // Self link: distance clamps to 1 m in the propagation model; never used
+  // by the channel (senders skip themselves) but keeps indexing dense.
+  table_.push_back(prop_->rx_power_dbm(position, position));
+  return id;
+}
+
+}  // namespace wlan::phy

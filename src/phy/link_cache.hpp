@@ -1,0 +1,62 @@
+// Static link-budget cache: pairwise received power between registered
+// endpoints, keyed by compact link ids.
+//
+// Node positions are fixed for a simulation run (shadowing is frozen per
+// link, see propagation.hpp), so the received power of every (tx, rx) pair
+// is a run constant — yet the channel hot path used to recompute it per
+// overlap x per receiver x per frame, paying a log10 and (with shadowing
+// enabled) an RNG construction + normal draw every time.  This table pays
+// that cost once per pair, at endpoint registration, and turns SINR
+// evaluation into lookups plus one dBm->mW sum.
+//
+// The table is the lower triangle of the symmetric pair matrix, stored
+// row-major — appending endpoint N adds exactly its N+1 new pairs at the
+// tail, so registration never reshuffles existing entries.  Values are the
+// *identical* doubles Propagation::rx_power_dbm would return (path loss,
+// floor penalty and the frozen shadowing draw are all symmetric in the
+// endpoint pair, bit-exactly), which keeps cached simulations byte-identical
+// to uncached ones.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "phy/propagation.hpp"
+
+namespace wlan::phy {
+
+class LinkBudgetCache {
+ public:
+  using LinkId = std::uint32_t;
+  static constexpr LinkId kNoLink = 0xFFFFFFFF;
+
+  explicit LinkBudgetCache(const Propagation& prop) : prop_(&prop) {}
+
+  /// Registers an endpoint and computes its received power against every
+  /// endpoint registered so far (O(N) for the N-th endpoint).
+  LinkId add_endpoint(const Position& position);
+
+  /// Received power in dBm between two registered endpoints, excluding any
+  /// per-node transmit power offset (the caller folds that in).
+  [[nodiscard]] double rx_power_dbm(LinkId from, LinkId to) const {
+    return table_[index(from, to)];
+  }
+
+  [[nodiscard]] const Position& position(LinkId id) const {
+    return positions_[id];
+  }
+  [[nodiscard]] std::size_t endpoints() const { return positions_.size(); }
+
+ private:
+  [[nodiscard]] static std::size_t index(LinkId a, LinkId b) {
+    const std::size_t hi = a > b ? a : b;
+    const std::size_t lo = a > b ? b : a;
+    return hi * (hi + 1) / 2 + lo;
+  }
+
+  const Propagation* prop_;
+  std::vector<Position> positions_;
+  std::vector<double> table_;  ///< lower triangle, row-major
+};
+
+}  // namespace wlan::phy

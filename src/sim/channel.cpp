@@ -13,48 +13,79 @@ Channel::Channel(Simulator& sim, const phy::Propagation& prop,
                  const mac::Timing& timing, std::uint8_t number,
                  std::uint64_t seed)
     : sim_(sim), prop_(prop), timing_(timing), number_(number),
-      rng_(seed ^ (0xC0FFEEULL + number)) {}
+      rng_(seed ^ (0xC0FFEEULL + number)), links_(prop),
+      noise_mw_(phy::dbm_to_mw(prop.config().noise_floor_dbm)),
+      noise_db_roundtrip_(phy::mw_to_dbm(noise_mw_)) {}
 
 void Channel::add_node(MacEntity* node) {
+  node->link_id_ = links_.add_endpoint(node->position());
   nodes_.push_back(node);
-  by_addr_[node->addr()] = node;
+  by_addr_.insert_or_assign(node->addr(), node);
 }
 
 void Channel::add_alias(mac::Addr alias, MacEntity* node) {
-  by_addr_[alias] = node;
+  by_addr_.insert_or_assign(alias, node);
 }
 
 void Channel::remove_node(MacEntity* node) {
   cancel_access(node);
+  node->link_id_ = phy::LinkBudgetCache::kNoLink;  // no longer on a channel
   nodes_.erase(std::remove(nodes_.begin(), nodes_.end(), node), nodes_.end());
-  for (auto it = by_addr_.begin(); it != by_addr_.end();) {
-    it = it->second == node ? by_addr_.erase(it) : std::next(it);
+  std::vector<mac::Addr> owned;
+  by_addr_.for_each([&](mac::Addr addr, MacEntity* owner) {
+    if (owner == node) owned.push_back(addr);
+  });
+  for (mac::Addr addr : owned) by_addr_.erase(addr);
+  // Frames of `node` still on the air must not reach back into it: the
+  // sender pointer and its completion callback die here; reception is
+  // evaluated from the link-budget cache (from_link stays valid), so the
+  // frame itself still finishes, interferes and reaches sniffers.
+  for (const std::uint32_t slot : on_air_) {
+    Active& a = frame_pool_[slot];
+    if (a.from == node) {
+      a.from = nullptr;
+      a.on_air_done = nullptr;
+    }
   }
 }
 
-void Channel::add_sniffer(Sniffer* sniffer) { sniffers_.push_back(sniffer); }
+void Channel::add_sniffer(Sniffer* sniffer) {
+  sniffers_.push_back({sniffer, links_.add_endpoint(sniffer->position())});
+}
 
 const MacEntity* Channel::peer(mac::Addr addr) const {
-  const auto it = by_addr_.find(addr);
-  return it == by_addr_.end() ? nullptr : it->second;
+  MacEntity* const* it = by_addr_.find(addr);
+  return it == nullptr ? nullptr : *it;
 }
 
 void Channel::request_access(MacEntity* node, std::uint32_t slots) {
+  // A node removed from the channel has its link id severed (see
+  // remove_node); letting it contend again would put a kNoLink frame on the
+  // air.  Assert in Debug, refuse in Release.
+  assert(node->link_id_ != phy::LinkBudgetCache::kNoLink);
+  if (node->link_id_ == phy::LinkBudgetCache::kNoLink) return;
   assert(std::none_of(contenders_.begin(), contenders_.end(),
                       [&](const Contender& c) { return c.node == node; }));
   // A station joining mid-idle must still sense a full DIFS before counting
-  // slots; credit it with the slots that already elapsed this idle period so
-  // the shared timer stays correct for everyone.
+  // slots; on the shared timer that means its countdown starts at the first
+  // slot boundary at or after join + DIFS.  The boundary grid begins at
+  // idle_anchor_ + DIFS, so the handicap is (now - idle_anchor_) rounded *up*
+  // to whole slots.  Rounding down here would let a partial slot count as a
+  // full one for the joiner (and a clamped timer could even grant access
+  // before DIFS); ceil also keeps every contender's stored count an exact
+  // boundary index, so consume_elapsed_slots' uniform whole-slot charge never
+  // credits a duplicate slot across a freeze/resume cycle.
   std::uint32_t handicap = 0;
-  if (active_.empty()) {
-    const auto since_difs = sim_.now() - (idle_anchor_ + timing_.difs);
-    if (since_difs > Microseconds{0}) {
-      handicap = static_cast<std::uint32_t>(since_difs.count() /
-                                            timing_.slot.count());
+  if (on_air_.empty()) {
+    const auto since_idle = sim_.now() - idle_anchor_;
+    if (since_idle > Microseconds{0}) {
+      const auto slot = timing_.slot.count();
+      handicap =
+          static_cast<std::uint32_t>((since_idle.count() + slot - 1) / slot);
     }
   }
   contenders_.push_back(Contender{node, slots + handicap});
-  if (active_.empty()) schedule_access_timer();
+  if (on_air_.empty()) schedule_access_timer();
 }
 
 void Channel::cancel_access(MacEntity* node) {
@@ -62,27 +93,44 @@ void Channel::cancel_access(MacEntity* node) {
                                [&](const Contender& c) { return c.node == node; });
   if (it == contenders_.end()) return;
   contenders_.erase(it);
-  if (active_.empty()) schedule_access_timer();
+  if (on_air_.empty()) schedule_access_timer();
 }
 
 void Channel::transmit(MacEntity* from, const mac::Frame& frame,
-                       std::function<void()> on_air_done) {
-  const bool was_idle = active_.empty();
-  Active a;
+                       EventQueue::Callback on_air_done) {
+  // A removed node's kNoLink id would index the link-budget table far out of
+  // bounds when the frame leaves the air.  Assert in Debug, drop in Release
+  // (the dead node's on_air_done is intentionally not invoked).
+  assert(from->link_id_ != phy::LinkBudgetCache::kNoLink);
+  if (from->link_id_ == phy::LinkBudgetCache::kNoLink) return;
+  const bool was_idle = on_air_.empty();
+  std::uint32_t slot;
+  if (free_frames_.empty()) {
+    slot = static_cast<std::uint32_t>(frame_pool_.size());
+    frame_pool_.emplace_back();
+  } else {
+    slot = free_frames_.back();
+    free_frames_.pop_back();
+  }
+  Active& a = frame_pool_[slot];
   a.frame = frame;
   // Deterministic per-run frame ids when the network shares a counter.
   if (frame_counter_) a.frame.id = ++*frame_counter_;
   a.from = from;
+  a.from_link = from->link_id_;
   a.power_offset_db = from->tx_power_offset_db();
   a.start = sim_.now();
   a.end = sim_.now() + frame.airtime();
   a.on_air_done = std::move(on_air_done);
+  a.overlaps.clear();  // recycled slot: keep the buffer, drop old entries
   // Mutual overlap bookkeeping with everything already on air.
-  for (Active& other : active_) {
-    other.overlaps.push_back({from->position(), a.power_offset_db});
-    a.overlaps.push_back({other.from->position(), other.power_offset_db});
+  for (const std::uint32_t other_slot : on_air_) {
+    Active& other = frame_pool_[other_slot];
+    other.overlaps.push_back({a.from_link, a.power_offset_db});
+    a.overlaps.push_back({other.from_link, other.power_offset_db});
   }
-  active_.push_back(std::move(a));
+  a.on_air_pos = static_cast<std::uint32_t>(on_air_.size());
+  on_air_.push_back(slot);
   ++tx_count_;
 
   if (was_idle && access_timer_set_) {
@@ -92,41 +140,70 @@ void Channel::transmit(MacEntity* from, const mac::Frame& frame,
     consume_elapsed_slots(sim_.now());
   }
 
-  // Use the (possibly re-assigned) id of the queued copy, not the caller's.
-  const std::uint64_t id = active_.back().frame.id;
-  sim_.at(active_.back().end, [this, id] { on_transmission_end(id); });
+  // Capture the slot (O(1) end-of-air lookup) plus the queued copy's frame
+  // id as a cross-check against slot recycling bugs.
+  const std::uint64_t id = a.frame.id;
+  sim_.at(a.end, [this, slot, id] { on_transmission_end(slot, id); });
 }
 
 void Channel::consume_elapsed_slots(Microseconds busy_start) {
   const auto countdown_start = idle_anchor_ + timing_.difs;
   if (busy_start <= countdown_start) return;
+  // Only whole slot boundaries count; a partial slot is re-waited in full
+  // after the busy period, exactly as DCF resumes a frozen countdown.  Every
+  // contender's stored count is a boundary index on the same grid (see the
+  // ceil in request_access), so this uniform charge is exact — nobody gets a
+  // fractional slot credited twice.
   const auto elapsed = static_cast<std::uint32_t>(
       (busy_start - countdown_start).count() / timing_.slot.count());
   for (Contender& c : contenders_) c.slots = c.slots > elapsed ? c.slots - elapsed : 0;
 }
 
-void Channel::on_transmission_end(std::uint64_t frame_id) {
-  const auto it = std::find_if(active_.begin(), active_.end(),
-                               [&](const Active& a) { return a.frame.id == frame_id; });
-  assert(it != active_.end());
-  Active done = std::move(*it);
-  active_.erase(it);
+void Channel::on_transmission_end(std::uint32_t slot, std::uint64_t frame_id) {
+  // The finished frame cannot be processed in the pool slot (the slot is
+  // recycled below and a reentrant transmit may claim it mid-callback), and
+  // moving it out would steal the slot's overlaps buffer — reallocating on
+  // every overlapped frame.  Swapping with a scratch entry keeps both safe:
+  // the slot inherits the scratch's previously-grown buffer.
+  using std::swap;
+  swap(done_scratch_, frame_pool_[slot]);
+  Active& done = done_scratch_;
+  assert(done.frame.id == frame_id);
+  (void)frame_id;
+  // Unlink from the live list (swap-erase, O(1)) and recycle the slot before
+  // any callback runs.
+  const std::uint32_t pos = done.on_air_pos;
+  const std::uint32_t last = on_air_.back();
+  on_air_[pos] = last;
+  frame_pool_[last].on_air_pos = pos;
+  on_air_.pop_back();
+  free_frames_.push_back(slot);
 
   // Sender bookkeeping first (start timeouts), then receptions, then medium
   // state — so a SIFS response scheduled during reception still sees the
   // correct idle anchor.
-  if (done.on_air_done) done.on_air_done();
+  if (done.on_air_done) {
+    done.on_air_done();
+    done.on_air_done = nullptr;  // release captures; next swap would anyway
+  }
   evaluate_receptions(done);
-  if (active_.empty()) medium_went_idle();
+  if (on_air_.empty()) medium_went_idle();
 }
 
-double Channel::sinr_db_at(const Active& a, const phy::Position& rx) const {
+double Channel::sinr_db_at(const Active& a, LinkId rx) const {
   const double signal_dbm =
-      prop_.rx_power_dbm(a.from->position(), rx) + a.power_offset_db;
-  double denom_mw = phy::dbm_to_mw(prop_.config().noise_floor_dbm);
+      links_.rx_power_dbm(a.from_link, rx) + a.power_offset_db;
+  if (a.overlaps.empty()) {
+    // No interference: denom == noise floor.  noise_db_roundtrip_ is the
+    // precomputed mw_to_dbm(dbm_to_mw(floor)) — the exact double the general
+    // path below would produce — so skipping its pow/log10 pair per frame
+    // leaves every SINR bit-identical.
+    return signal_dbm - noise_db_roundtrip_;
+  }
+  double denom_mw = noise_mw_;
   for (const Interferer& i : a.overlaps) {
     denom_mw +=
-        phy::dbm_to_mw(prop_.rx_power_dbm(i.position, rx) + i.power_offset_db);
+        phy::dbm_to_mw(links_.rx_power_dbm(i.link, rx) + i.power_offset_db);
   }
   return signal_dbm - phy::mw_to_dbm(denom_mw);
 }
@@ -135,49 +212,36 @@ void Channel::evaluate_receptions(const Active& done) {
   const mac::Frame& f = done.frame;
 
   // Range check with the sender's power offset folded in.
-  auto receivable = [&](const phy::Position& rx) {
-    return prop_.rx_power_dbm(done.from->position(), rx) +
-               done.power_offset_db >=
+  auto receivable = [&](LinkId rx) {
+    return links_.rx_power_dbm(done.from_link, rx) + done.power_offset_db >=
            prop_.config().min_rx_dbm;
   };
 
   // Broadcast delivery: each node draws its own reception independently.
   auto try_deliver = [&](MacEntity* rx) {
-    if (rx == done.from) return;
-    if (!receivable(rx->position())) return;
-    const double sinr = sinr_db_at(done, rx->position());
-    const double p = phy::frame_success_probability(f.rate, f.size_bytes(), sinr);
+    if (rx->link_id_ == done.from_link) return;
+    if (!receivable(rx->link_id_)) return;
+    const double sinr = sinr_db_at(done, rx->link_id_);
+    const double p = frame_success_(f.rate, f.size_bytes(), sinr);
     if (rng_.chance(p)) rx->on_receive(f, sinr);
   };
 
   if (f.dst == mac::kBroadcast) {
-    for (MacEntity* n : nodes_) try_deliver(n);
-    if (ground_truth_) {
-      trace::TxRecord rec;
-      rec.time_us = done.start.count();
-      rec.frame_id = f.id;
-      rec.type = f.type;
-      rec.src = f.src;
-      rec.dst = f.dst;
-      rec.channel = number_;
-      rec.rate = f.rate;
-      rec.size_bytes = f.size_bytes();
-      rec.retry = f.retry;
-      rec.seq = f.seq;
-      rec.outcome = trace::TxOutcome::kDelivered;
-      ground_truth_->push_back(rec);
-    }
+    // By index, not iterator: a receiver reacting with remove_node erases
+    // from nodes_ mid-loop.  The swap a concurrent erase causes may skip one
+    // delivery, but never touches a removed node or invalidated memory.
+    for (std::size_t i = 0; i < nodes_.size(); ++i) try_deliver(nodes_[i]);
+    record_ground_truth(done, trace::TxOutcome::kDelivered);
   } else {
-    const auto it = by_addr_.find(f.dst);
-    MacEntity* rx = it == by_addr_.end() ? nullptr : it->second;
+    MacEntity* const* it = by_addr_.find(f.dst);
+    MacEntity* rx = it == nullptr ? nullptr : *it;
     trace::TxOutcome outcome = trace::TxOutcome::kChannelError;
-    if (rx && rx != done.from) {
+    if (rx && rx->link_id_ != done.from_link) {
       bool delivered = false;
       double sinr = -100.0;
-      if (receivable(rx->position())) {
-        sinr = sinr_db_at(done, rx->position());
-        const double p =
-            phy::frame_success_probability(f.rate, f.size_bytes(), sinr);
+      if (receivable(rx->link_id_)) {
+        sinr = sinr_db_at(done, rx->link_id_);
+        const double p = frame_success_(f.rate, f.size_bytes(), sinr);
         delivered = rng_.chance(p);
       }
       if (delivered) {
@@ -188,28 +252,35 @@ void Channel::evaluate_receptions(const Active& done) {
       }
       if (delivered) rx->on_receive(f, sinr);
     }
-    if (ground_truth_) {
-      trace::TxRecord rec;
-      rec.time_us = done.start.count();
-      rec.frame_id = f.id;
-      rec.type = f.type;
-      rec.src = f.src;
-      rec.dst = f.dst;
-      rec.channel = number_;
-      rec.rate = f.rate;
-      rec.size_bytes = f.size_bytes();
-      rec.retry = f.retry;
-      rec.seq = f.seq;
-      rec.outcome = outcome;
-      ground_truth_->push_back(rec);
-    }
+    record_ground_truth(done, outcome);
   }
 
   // Sniffers overhear everything on their channel, range permitting.
-  for (Sniffer* s : sniffers_) {
-    s->observe(f, done.start, sinr_db_at(done, s->position()),
-               receivable(s->position()));
+  for (const SnifferRef& s : sniffers_) {
+    s.sniffer->observe(f, done.start, sinr_db_at(done, s.link),
+                       receivable(s.link));
   }
+}
+
+void Channel::record_ground_truth(const Active& done,
+                                  trace::TxOutcome outcome) {
+  // Single construction point for both broadcast and unicast records, so the
+  // ground truth's field mapping cannot drift between the two paths.
+  if (!ground_truth_) return;
+  const mac::Frame& f = done.frame;
+  trace::TxRecord rec;
+  rec.time_us = done.start.count();
+  rec.frame_id = f.id;
+  rec.type = f.type;
+  rec.src = f.src;
+  rec.dst = f.dst;
+  rec.channel = number_;
+  rec.rate = f.rate;
+  rec.size_bytes = f.size_bytes();
+  rec.retry = f.retry;
+  rec.seq = f.seq;
+  rec.outcome = outcome;
+  ground_truth_->push_back(rec);
 }
 
 void Channel::medium_went_idle() {
@@ -218,24 +289,33 @@ void Channel::medium_went_idle() {
 }
 
 void Channel::schedule_access_timer() {
-  if (access_timer_set_) {
-    sim_.cancel(access_timer_);
-    access_timer_set_ = false;
+  if (!on_air_.empty() || contenders_.empty()) {
+    if (access_timer_set_) {
+      sim_.cancel(access_timer_);
+      access_timer_set_ = false;
+    }
+    return;
   }
-  if (!active_.empty() || contenders_.empty()) return;
   const auto min_it = std::min_element(
       contenders_.begin(), contenders_.end(),
       [](const Contender& a, const Contender& b) { return a.slots < b.slots; });
   const Microseconds fire_at =
       idle_anchor_ + timing_.difs + timing_.slot * min_it->slots;
   const Microseconds when = fire_at < sim_.now() ? sim_.now() : fire_at;
+  // A contender joining or withdrawing usually leaves the earliest grant
+  // unchanged; keep the armed timer instead of a cancel + reschedule pair.
+  if (access_timer_set_) {
+    if (when == access_timer_at_) return;
+    sim_.cancel(access_timer_);
+  }
   access_timer_ = sim_.at(when, [this] { fire_access(); });
+  access_timer_at_ = when;
   access_timer_set_ = true;
 }
 
 void Channel::fire_access() {
   access_timer_set_ = false;
-  if (!active_.empty() || contenders_.empty()) return;
+  if (!on_air_.empty() || contenders_.empty()) return;
 
   std::uint32_t min_slots = contenders_.front().slots;
   for (const Contender& c : contenders_) min_slots = std::min(min_slots, c.slots);
@@ -259,7 +339,7 @@ void Channel::fire_access() {
 
   // If a winner decided not to transmit (empty queue race), the medium may
   // still be idle: re-arm the timer for the remaining contenders.
-  if (active_.empty()) schedule_access_timer();
+  if (on_air_.empty()) schedule_access_timer();
 }
 
 }  // namespace wlan::sim

@@ -18,16 +18,17 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "mac/frame.hpp"
 #include "mac/timing.hpp"
+#include "phy/error_model.hpp"
+#include "phy/link_cache.hpp"
 #include "phy/propagation.hpp"
 #include "sim/node.hpp"
 #include "sim/simulator.hpp"
 #include "trace/record.hpp"
+#include "util/flat_map.hpp"
 #include "util/rng.hpp"
 
 namespace wlan::sim {
@@ -42,7 +43,8 @@ class Channel {
   Channel(const Channel&) = delete;
   Channel& operator=(const Channel&) = delete;
 
-  /// Registers a node under its primary address.
+  /// Registers a node under its primary address and gives it a link id in
+  /// the channel's link-budget cache (O(nodes) pairwise precomputation).
   void add_node(MacEntity* node);
   /// Registers an extra receive address for `node` (virtual-AP BSSIDs).
   void add_alias(mac::Addr alias, MacEntity* node);
@@ -68,9 +70,9 @@ class Channel {
   /// of the frame, before receptions are delivered — senders use it to start
   /// response timeouts.
   void transmit(MacEntity* from, const mac::Frame& frame,
-                std::function<void()> on_air_done = {});
+                EventQueue::Callback on_air_done = {});
 
-  [[nodiscard]] bool busy() const { return !active_.empty(); }
+  [[nodiscard]] bool busy() const { return !on_air_.empty(); }
   [[nodiscard]] std::uint8_t number() const { return number_; }
   [[nodiscard]] const mac::Timing& timing() const { return timing_; }
   [[nodiscard]] Simulator& simulator() { return sim_; }
@@ -79,30 +81,44 @@ class Channel {
   /// unknown.  Used for SNR hints toward a peer.
   [[nodiscard]] const MacEntity* peer(mac::Addr addr) const;
 
-  /// Long-term SNR of the link between two positions (no interference).
-  [[nodiscard]] double snr_between(const phy::Position& a,
-                                   const phy::Position& b) const {
-    return prop_.snr_db(a, b);
+  /// Long-term SNR between two channel members — served from the link-budget
+  /// cache (the per-frame rate-controller SNR hint rides this); falls back to
+  /// the propagation model for endpoints without a link id.
+  [[nodiscard]] double link_snr_db(const MacEntity& a, const MacEntity& b) const {
+    if (a.link_id_ == phy::LinkBudgetCache::kNoLink ||
+        b.link_id_ == phy::LinkBudgetCache::kNoLink) {
+      return prop_.snr_db(a.position(), b.position());
+    }
+    return links_.rx_power_dbm(a.link_id_, b.link_id_) -
+           prop_.config().noise_floor_dbm;
   }
 
   [[nodiscard]] std::uint64_t transmissions() const { return tx_count_; }
   [[nodiscard]] std::uint64_t collisions() const { return collision_count_; }
 
  private:
+  using LinkId = phy::LinkBudgetCache::LinkId;
+
   struct Interferer {
-    phy::Position position;
+    LinkId link;
     double power_offset_db;
   };
 
   struct Active {
     mac::Frame frame;
-    MacEntity* from;
+    /// Sender, or nullptr when the node was removed mid-air (the frame
+    /// finishes via from_link; see remove_node).
+    MacEntity* from = nullptr;
+    LinkId from_link = phy::LinkBudgetCache::kNoLink;
     double power_offset_db = 0.0;
     Microseconds start;
     Microseconds end;
-    std::function<void()> on_air_done;
+    EventQueue::Callback on_air_done;
     /// Transmitters of every frame that overlapped this one.
     std::vector<Interferer> overlaps;
+    /// Index of this frame in on_air_ while it is in flight (pool slots are
+    /// recycled; see transmit / on_transmission_end).
+    std::uint32_t on_air_pos = 0;
   };
 
   struct Contender {
@@ -110,28 +126,52 @@ class Channel {
     std::uint32_t slots;
   };
 
-  void on_transmission_end(std::uint64_t frame_id);
+  void on_transmission_end(std::uint32_t slot, std::uint64_t frame_id);
   void evaluate_receptions(const Active& done);
+  void record_ground_truth(const Active& done, trace::TxOutcome outcome);
   void medium_went_idle();
   void consume_elapsed_slots(Microseconds busy_start);
   void schedule_access_timer();
   void fire_access();
-  [[nodiscard]] double sinr_db_at(const Active& a, const phy::Position& rx) const;
+  [[nodiscard]] double sinr_db_at(const Active& a, LinkId rx) const;
 
   Simulator& sim_;
   const phy::Propagation& prop_;
   mac::Timing timing_;
   std::uint8_t number_;
   util::Rng rng_;
+  phy::LinkBudgetCache links_;
+  phy::FrameSuccessCache frame_success_;
+  /// Noise floor in mW and its dB round-trip, hoisted out of sinr_db_at
+  /// (bit-identical to recomputing per call; see sinr_db_at).
+  double noise_mw_ = 0.0;
+  double noise_db_roundtrip_ = 0.0;
 
-  std::unordered_map<mac::Addr, MacEntity*> by_addr_;
+  struct SnifferRef {
+    Sniffer* sniffer;
+    LinkId link;
+  };
+
+  /// Receive-address table (primary addresses + virtual-AP aliases).
+  /// kBroadcast is the reserved empty marker: it is delivered by iteration,
+  /// never by lookup.
+  util::FlatMap<mac::Addr, MacEntity*, mac::kBroadcast> by_addr_;
   std::vector<MacEntity*> nodes_;
-  std::vector<Sniffer*> sniffers_;
-  std::vector<Active> active_;
+  std::vector<SnifferRef> sniffers_;
+  /// In-flight frames: a recycled slot pool plus the list of live slots.
+  /// End-of-air events address their frame by slot in O(1); the pool keeps
+  /// Active structs (and their overlap buffers) out of the allocator.
+  std::vector<Active> frame_pool_;
+  std::vector<std::uint32_t> free_frames_;
+  std::vector<std::uint32_t> on_air_;
+  /// Completed frame being processed by on_transmission_end; swapped with
+  /// the pool slot so overlap buffers ping-pong instead of reallocating.
+  Active done_scratch_;
   std::vector<Contender> contenders_;
 
   Microseconds idle_anchor_{0};  ///< when the current idle period began
   EventId access_timer_{};
+  Microseconds access_timer_at_{0};  ///< instant the armed timer fires
   bool access_timer_set_ = false;
 
   std::vector<trace::TxRecord>* ground_truth_ = nullptr;

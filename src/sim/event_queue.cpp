@@ -1,31 +1,47 @@
 #include "sim/event_queue.hpp"
 
-#include <algorithm>
 #include <cassert>
 
 namespace wlan::sim {
 
-EventId EventQueue::schedule(Microseconds at, std::function<void()> fn) {
-  const std::uint64_t seq = next_seq_++;
-  heap_.push(Entry{at, seq, std::move(fn)});
+EventId EventQueue::schedule(Microseconds at, Callback fn) {
+  // never() doubles as next_time()'s queue-empty sentinel, so an event at
+  // never() would never be reached by Simulator::run()'s drain loop.  An
+  // empty callback would be a null-pointer call when it surfaces (SmallFn
+  // skips std::function's bad_function_call check on the hot path).
+  assert(at != Microseconds::never());
+  assert(fn);
+  std::uint32_t slot;
+  if (free_slots_.empty()) {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  }
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  heap_.push(Entry{at, next_seq_++, slot, s.gen});
   ++live_;
-  return EventId{seq};
+  return EventId{slot, s.gen};
 }
 
 void EventQueue::cancel(EventId id) {
   if (!id.valid()) return;
-  // Lazy cancellation: remember the seq, skip it when it surfaces.  Double
-  // cancellation of the same id is a no-op.
-  if (cancelled_.insert(id.seq_).second && live_ > 0) --live_;
+  Slot& s = slots_[id.slot_];
+  // Generation mismatch: the event already ran, was cancelled, or its slot
+  // was recycled — all no-ops.  Otherwise retire the slot now; the stale
+  // heap entry is skipped by the generation compare when it surfaces.
+  if (s.gen != id.gen_) return;
+  ++s.gen;
+  s.fn = nullptr;
+  free_slots_.push_back(id.slot_);
+  assert(live_ > 0);
+  --live_;
 }
 
 void EventQueue::drop_cancelled() const {
-  while (!heap_.empty()) {
-    const auto it = cancelled_.find(heap_.top().seq);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    heap_.pop();
-  }
+  while (!heap_.empty() && dead(heap_.top())) heap_.pop();
 }
 
 Microseconds EventQueue::next_time() const {
@@ -36,12 +52,17 @@ Microseconds EventQueue::next_time() const {
 Microseconds EventQueue::run_next() {
   drop_cancelled();
   assert(!heap_.empty());
-  // Move the entry out before running: the callback may schedule new events.
-  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  const Entry top = heap_.top();
   heap_.pop();
+  Slot& s = slots_[top.slot];
+  // Move the callable out and retire the slot before running: the callback
+  // may schedule new events (and reuse this very slot).
+  Callback fn = std::move(s.fn);
+  ++s.gen;
+  free_slots_.push_back(top.slot);
   --live_;
-  entry.fn();
-  return entry.at;
+  fn();
+  return top.at;
 }
 
 }  // namespace wlan::sim

@@ -1,19 +1,27 @@
 // Discrete-event scheduler: a binary heap of (time, sequence) keyed events
-// with O(1) lazy cancellation.
+// with O(1) cancellation via slot generations.
 //
 // The (time, sequence) key makes execution order total and deterministic:
 // ties at the same microsecond run in scheduling order, so a simulation is
-// reproducible from its seed alone.  Cancellation only marks the id; the
-// heap entry is dropped when popped, keeping cancel O(1) at the cost of
-// dead entries — fine for MAC timeout churn where most timers fire.
+// reproducible from its seed alone.
+//
+// Layout matters here — this is the hottest structure in the simulator:
+//  * Callables live in a stable slot pool (small-buffer SmallFn, no heap
+//    allocation for MAC-sized captures); the heap itself holds 24-byte POD
+//    entries, so sift-up/down moves plain words instead of std::function
+//    objects with manager thunks.
+//  * Cancellation bumps the slot's generation: O(1), allocation-free, and
+//    the stale heap entry is recognized by a single array compare when it
+//    surfaces.  Slots are recycled through a free list, so heavy
+//    cancel/schedule churn runs in bounded memory (no tombstone set to
+//    grow).
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "util/small_fn.hpp"
 #include "util/time.hpp"
 
 namespace wlan::sim {
@@ -23,20 +31,27 @@ namespace wlan::sim {
 class EventId {
  public:
   EventId() = default;
-  [[nodiscard]] bool valid() const { return seq_ != 0; }
+  [[nodiscard]] bool valid() const { return slot_ != kNone; }
 
  private:
   friend class EventQueue;
-  explicit EventId(std::uint64_t seq) : seq_(seq) {}
-  std::uint64_t seq_ = 0;
+  static constexpr std::uint32_t kNone = 0xFFFFFFFF;
+  EventId(std::uint32_t slot, std::uint32_t gen) : slot_(slot), gen_(gen) {}
+  std::uint32_t slot_ = kNone;
+  std::uint32_t gen_ = 0;
 };
 
 class EventQueue {
  public:
+  /// Inline capture budget: a SIFS-response lambda carries a mac::Frame
+  /// (~56 bytes) plus a pointer; anything larger spills to the heap.
+  using Callback = util::SmallFn<void(), 72>;
+
   /// Schedules `fn` at absolute time `at`.  Events at equal times run in
   /// scheduling order (the sequence number breaks ties), which keeps runs
-  /// deterministic.
-  EventId schedule(Microseconds at, std::function<void()> fn);
+  /// deterministic.  `at` must not be Microseconds::never() — that value is
+  /// next_time()'s queue-empty sentinel (asserted).
+  EventId schedule(Microseconds at, Callback fn);
 
   /// Cancels a previously scheduled event; harmless if already run/cancelled.
   void cancel(EventId id);
@@ -51,21 +66,37 @@ class EventQueue {
   /// Precondition: !empty().
   Microseconds run_next();
 
+  /// Diagnostics for tests: slots ever allocated (bounded under churn
+  /// because cancellation recycles through the free list) and heap entries
+  /// still queued (live + not-yet-surfaced dead ones).
+  [[nodiscard]] std::size_t slot_pool_size() const { return slots_.size(); }
+  [[nodiscard]] std::size_t heap_entries() const { return heap_.size(); }
+
  private:
+  struct Slot {
+    Callback fn;
+    std::uint32_t gen = 0;
+  };
+
   struct Entry {
     Microseconds at;
     std::uint64_t seq;
-    std::function<void()> fn;
+    std::uint32_t slot;
+    std::uint32_t gen;
     bool operator>(const Entry& other) const {
       if (at != other.at) return at > other.at;
       return seq > other.seq;
     }
   };
 
+  [[nodiscard]] bool dead(const Entry& e) const {
+    return slots_[e.slot].gen != e.gen;
+  }
   void drop_cancelled() const;
 
   mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  mutable std::unordered_set<std::uint64_t> cancelled_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
   std::size_t live_ = 0;
   std::uint64_t next_seq_ = 1;
 };

@@ -3,6 +3,7 @@
 #pragma once
 
 #include "mac/frame.hpp"
+#include "phy/link_cache.hpp"
 #include "phy/propagation.hpp"
 
 namespace wlan::sim {
@@ -10,6 +11,12 @@ namespace wlan::sim {
 class MacEntity {
  public:
   virtual ~MacEntity() = default;
+
+  /// Compact id into the owning channel's link-budget cache; assigned by
+  /// Channel::add_node.  kNoLink until the node joins a channel.
+  [[nodiscard]] phy::LinkBudgetCache::LinkId link_id() const {
+    return link_id_;
+  }
 
   /// The channel grants this node a transmit opportunity (its backoff
   /// expired on an idle medium).  The node must either call
@@ -27,6 +34,10 @@ class MacEntity {
   /// power such that data frames are consistently transmitted at high data
   /// rates"; stations implementing that raise this value.
   [[nodiscard]] virtual double tx_power_offset_db() const { return 0.0; }
+
+ private:
+  friend class Channel;
+  phy::LinkBudgetCache::LinkId link_id_ = phy::LinkBudgetCache::kNoLink;
 };
 
 }  // namespace wlan::sim

@@ -3,10 +3,14 @@
 namespace wlan::sim {
 
 void Simulator::run_until(Microseconds until) {
-  while (!queue_.empty() && queue_.next_time() <= until) {
+  // One next_time() probe per event: it returns never() when drained, and
+  // never() can only pass the bound when until == never() and the queue is
+  // empty — guarded explicitly.
+  Microseconds next;
+  while ((next = queue_.next_time()) <= until && !queue_.empty()) {
     // Advance the clock *before* dispatching: callbacks must observe their
     // own timestamp through now().
-    now_ = queue_.next_time();
+    now_ = next;
     queue_.run_next();
     ++executed_;
   }
@@ -14,8 +18,9 @@ void Simulator::run_until(Microseconds until) {
 }
 
 void Simulator::run() {
-  while (!queue_.empty()) {
-    now_ = queue_.next_time();
+  Microseconds next;
+  while ((next = queue_.next_time()) != Microseconds::never()) {
+    now_ = next;
     queue_.run_next();
     ++executed_;
   }

@@ -23,11 +23,11 @@ class Simulator {
  public:
   [[nodiscard]] Microseconds now() const { return now_; }
 
-  EventId at(Microseconds when, std::function<void()> fn) {
+  EventId at(Microseconds when, EventQueue::Callback fn) {
     return queue_.schedule(when < now_ ? now_ : when, std::move(fn));
   }
 
-  EventId in(Microseconds delay, std::function<void()> fn) {
+  EventId in(Microseconds delay, EventQueue::Callback fn) {
     return queue_.schedule(now_ + delay, std::move(fn));
   }
 

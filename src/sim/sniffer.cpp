@@ -21,7 +21,7 @@ void Sniffer::observe(const mac::Frame& frame, Microseconds start,
   // Bit-error loss at our SINR (collisions appear here too: overlapping
   // frames depress the SINR the channel hands us).
   const double p_ok =
-      phy::frame_success_probability(frame.rate, frame.size_bytes(), sinr_db);
+      frame_success_(frame.rate, frame.size_bytes(), sinr_db);
   if (!rng_.chance(p_ok)) {
     ++stats_.missed_error;
     return;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "mac/frame.hpp"
+#include "phy/error_model.hpp"
 #include "phy/propagation.hpp"
 #include "trace/record.hpp"
 #include "util/rng.hpp"
@@ -66,6 +67,7 @@ class Sniffer {
   SnifferConfig config_;
   std::uint8_t id_;
   util::Rng rng_;
+  phy::FrameSuccessCache frame_success_;
   std::vector<trace::CaptureRecord> records_;
   SnifferStats stats_;
   std::int64_t current_second_ = -1;

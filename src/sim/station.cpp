@@ -13,9 +13,23 @@ Station::Station(Channel& channel, mac::Addr address, const StationConfig& confi
 }
 
 rate::RateController& Station::controller_for(mac::Addr peer_addr) {
-  auto& slot = controllers_[peer_addr];
-  if (!slot) slot = rate::make_controller(config_.rate);
-  return *slot;
+  assert(peer_addr != mac::kBroadcast);  // broadcasts bypass rate adaptation
+  if (peer_addr == mac::kBroadcast) {
+    // kBroadcast is the controller index's reserved empty key; indexing it
+    // would leak a fresh controller per call in a Release build.  Give such
+    // (unreachable today) callers a dedicated controller — aliasing a real
+    // peer's would corrupt that peer's adaptation history.
+    if (!broadcast_controller_) {
+      broadcast_controller_ = rate::make_controller(config_.rate);
+    }
+    return *broadcast_controller_;
+  }
+  if (rate::RateController** it = controller_index_.find(peer_addr)) {
+    return **it;
+  }
+  controllers_.push_back(rate::make_controller(config_.rate));
+  controller_index_.insert_or_assign(peer_addr, controllers_.back().get());
+  return *controllers_.back();
 }
 
 Station::~Station() = default;
@@ -31,7 +45,7 @@ void Station::enqueue(Packet packet) {
     return;
   }
   packet.enqueued = channel_.simulator().now();
-  queue_.push_back(packet);
+  queue_.push_back(std::move(packet));
   ++stats_.enqueued;
   if (state_ == State::kIdle) start_contention();
 }
@@ -75,8 +89,7 @@ void Station::access_granted() {
 double Station::snr_hint(mac::Addr peer_addr) const {
   const MacEntity* p = channel_.peer(peer_addr);
   if (!p) return -200.0;
-  return channel_.snr_between(config_.position, p->position()) +
-         config_.tx_power_offset_db;
+  return channel_.link_snr_db(*this, *p) + config_.tx_power_offset_db;
 }
 
 Microseconds Station::exchange_nav(std::uint32_t payload, phy::Rate r) const {

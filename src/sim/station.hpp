@@ -9,15 +9,17 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
+#include <vector>
 
 #include "mac/backoff.hpp"
 #include "mac/frame.hpp"
 #include "rate/rate_controller.hpp"
 #include "sim/channel.hpp"
 #include "sim/node.hpp"
+#include "util/flat_map.hpp"
 #include "util/rng.hpp"
 
 namespace wlan::sim {
@@ -101,7 +103,6 @@ class Station : public MacEntity {
   }
   [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
   [[nodiscard]] bool active() const { return active_; }
-  void set_position(phy::Position p) { config_.position = p; }
 
  protected:
   /// Hook for AP subclass: a unicast data/mgmt frame arrived for us.
@@ -139,7 +140,14 @@ class Station : public MacEntity {
   StationConfig config_;
   util::Rng rng_;
   mac::Backoff backoff_;
-  std::unordered_map<mac::Addr, std::unique_ptr<rate::RateController>> controllers_;
+  /// Per-peer rate controllers: flat index on the per-frame path, ownership
+  /// in a side vector (APs adapt per client; stations usually hold one).
+  util::FlatMap<mac::Addr, rate::RateController*, mac::kBroadcast>
+      controller_index_;
+  std::vector<std::unique_ptr<rate::RateController>> controllers_;
+  /// Fallback for controller_for(kBroadcast) — the index's reserved key
+  /// (defensive; broadcasts bypass rate adaptation today).
+  std::unique_ptr<rate::RateController> broadcast_controller_;
 
   std::deque<Packet> queue_;
   State state_ = State::kIdle;

@@ -1,0 +1,126 @@
+// FlatMap: a minimal open-addressing hash map (linear probing, power-of-two
+// capacity, backward-shift deletion — no tombstones).
+//
+// Built for the simulator's address tables: small integer keys, pointer-ish
+// values, lookups on the per-frame hot path.  Compared to unordered_map the
+// probe sequence is a contiguous scan (one cache line for the common hit)
+// and erase leaves no tombstones behind to rot the table.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace wlan::util {
+
+/// `EmptyKey` is a reserved key value that is never inserted; it marks free
+/// cells.  find(EmptyKey) safely returns "not found".
+template <class K, class V, K EmptyKey>
+class FlatMap {
+ public:
+  FlatMap() : cells_(kInitialCapacity, Cell{EmptyKey, V{}}) {}
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Pointer to the value for `key`, or nullptr.  Stable only until the next
+  /// insert/erase.
+  [[nodiscard]] const V* find(K key) const {
+    if (key == EmptyKey) return nullptr;
+    const std::size_t mask = cells_.size() - 1;
+    for (std::size_t i = hash(key) & mask;; i = (i + 1) & mask) {
+      if (cells_[i].key == key) return &cells_[i].value;
+      if (cells_[i].key == EmptyKey) return nullptr;
+    }
+  }
+  [[nodiscard]] V* find(K key) {
+    return const_cast<V*>(std::as_const(*this).find(key));
+  }
+
+  void insert_or_assign(K key, V value) {
+    // Inserting the reserved empty marker would corrupt probe chains (the
+    // cell would still read as free); refuse it outright rather than rely
+    // on every caller's guard.
+    assert(key != EmptyKey);
+    if (key == EmptyKey) return;
+    if ((size_ + 1) * 4 > cells_.size() * 3) grow();
+    const std::size_t mask = cells_.size() - 1;
+    for (std::size_t i = hash(key) & mask;; i = (i + 1) & mask) {
+      if (cells_[i].key == key) {
+        cells_[i].value = value;
+        return;
+      }
+      if (cells_[i].key == EmptyKey) {
+        cells_[i] = Cell{key, value};
+        ++size_;
+        return;
+      }
+    }
+  }
+
+  /// Removes `key`; returns whether it was present.  Backward-shift keeps
+  /// every remaining key on its probe path without tombstones.
+  bool erase(K key) {
+    if (key == EmptyKey) return false;
+    const std::size_t mask = cells_.size() - 1;
+    std::size_t hole = hash(key) & mask;
+    for (;; hole = (hole + 1) & mask) {
+      if (cells_[hole].key == key) break;
+      if (cells_[hole].key == EmptyKey) return false;
+    }
+    for (std::size_t j = (hole + 1) & mask; cells_[j].key != EmptyKey;
+         j = (j + 1) & mask) {
+      // Move cell j into the hole iff the hole lies on j's probe path, i.e.
+      // j is at least as far from its ideal slot as it is from the hole.
+      const std::size_t ideal = hash(cells_[j].key) & mask;
+      if (((j - ideal) & mask) >= ((j - hole) & mask)) {
+        cells_[hole] = cells_[j];
+        hole = j;
+      }
+    }
+    cells_[hole] = Cell{EmptyKey, V{}};
+    --size_;
+    return true;
+  }
+
+  /// Visits every (key, value) pair in unspecified order.
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (const Cell& c : cells_) {
+      if (c.key != EmptyKey) fn(c.key, c.value);
+    }
+  }
+
+ private:
+  static constexpr std::size_t kInitialCapacity = 16;
+
+  struct Cell {
+    K key;
+    V value;
+  };
+
+  [[nodiscard]] static std::size_t hash(K key) {
+    // Fibonacci multiplicative hash.  The high bits carry the mixing, so
+    // fold them down over the whole word: a fixed right-shift instead would
+    // cap the usable hash width and cluster probes once the table outgrew
+    // it (the caller masks with capacity - 1, at any capacity).
+    const std::uint64_t h =
+        static_cast<std::uint64_t>(key) * 0x9E3779B97F4A7C15ULL;
+    return static_cast<std::size_t>(h ^ (h >> 32));
+  }
+
+  void grow() {
+    std::vector<Cell> old = std::move(cells_);
+    cells_.assign(old.size() * 2, Cell{EmptyKey, V{}});
+    size_ = 0;
+    for (const Cell& c : old) {
+      if (c.key != EmptyKey) insert_or_assign(c.key, c.value);
+    }
+  }
+
+  std::vector<Cell> cells_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace wlan::util

@@ -214,9 +214,16 @@ CellResult run_cell(const CellConfig& config) {
 
   CellResult result;
   const auto warmup_us = static_cast<std::int64_t>(config.warmup_s * 1e6);
-  trace::Trace full;
   if (num_sniffers == 1) {
-    full = sniffers[0]->trace();
+    // Single-sniffer fast path: filter the warmup out of the raw capture,
+    // then time-sort once (stable, so identical to sort-then-filter without
+    // the intermediate full-trace copy).
+    const auto& recs = sniffers[0]->records();
+    result.trace.records.reserve(recs.size());
+    for (const auto& r : recs) {
+      if (r.time_us >= warmup_us) result.trace.records.push_back(r);
+    }
+    trace::sort_by_time(result.trace.records);
   } else {
     // The paper's pipeline: per-sniffer captures -> beacon-anchored clock
     // correction -> deduplicated k-way merge.  The merged timeline is in
@@ -226,18 +233,18 @@ CellResult run_cell(const CellConfig& config) {
     raw.reserve(sniffers.size());
     for (const sim::Sniffer* s : sniffers) raw.push_back(s->trace());
     trace::MergeResult merged = trace::merge_sniffer_traces(raw);
-    full = std::move(merged.trace);
     result.sniffer_traces = std::move(raw);
     result.clock_offsets = std::move(merged.offsets);
     result.merge_stats = merged.stats;
-  }
-  result.trace.records.reserve(full.records.size());
-  for (const auto& r : full.records) {
-    if (r.time_us >= warmup_us) result.trace.records.push_back(r);
+    result.trace.records.reserve(merged.trace.records.size());
+    for (const auto& r : merged.trace.records) {
+      if (r.time_us >= warmup_us) result.trace.records.push_back(r);
+    }
   }
   result.trace.start_us = warmup_us;
   result.trace.end_us =
       static_cast<std::int64_t>(config.duration_s * 1e6);
+  result.ground_truth.reserve(net.ground_truth().size());
   for (const auto& r : net.ground_truth()) {
     if (r.time_us >= warmup_us) result.ground_truth.push_back(r);
   }

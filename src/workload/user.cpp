@@ -1,6 +1,7 @@
 #include "workload/user.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "phy/error_model.hpp"
 
@@ -55,7 +56,7 @@ void UserSession::associate() {
   req.dst = vap_;
   req.type = mac::FrameType::kAssocReq;
   req.bssid = vap_;
-  station_->enqueue(req);
+  station_->enqueue(std::move(req));
   // Re-try a lost handshake; after several attempts proceed anyway so a
   // congested join cannot wedge the session forever.
   net_.simulator().in(msec(500), [this] {
@@ -113,10 +114,10 @@ void UserSession::send_closed_loop(bool uplink) {
   p.on_complete = [this, uplink](bool) { launch_flow(uplink); };
   if (uplink) {
     p.dst = vap_;
-    station_->enqueue(p);
+    station_->enqueue(std::move(p));
   } else {
     p.dst = station_->addr();
-    ap_->enqueue(p);
+    ap_->enqueue(std::move(p));
   }
 }
 
@@ -152,10 +153,10 @@ void UserSession::emit_packet() {
   p.bssid = vap_;
   if (rng_.chance(spec_.profile.uplink_fraction)) {
     p.dst = vap_;
-    station_->enqueue(p);
+    station_->enqueue(std::move(p));
   } else {
     p.dst = station_->addr();
-    ap_->enqueue(p);
+    ap_->enqueue(std::move(p));
   }
   schedule_next_packet();
 }
@@ -170,7 +171,7 @@ void UserSession::depart() {
   bye.dst = vap_;
   bye.type = mac::FrameType::kDisassoc;
   bye.bssid = vap_;
-  station_->enqueue(bye);
+  station_->enqueue(std::move(bye));
   // Give the disassoc a moment on the air, then power the radio off.
   net_.simulator().in(msec(100), [this] {
     if (station_) station_->shutdown();

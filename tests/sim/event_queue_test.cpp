@@ -96,6 +96,93 @@ TEST(EventQueueTest, CallbackMayScheduleMoreEvents) {
   EXPECT_EQ(depth, 5);
 }
 
+TEST(EventQueueTest, HeavyCancellationChurnStaysBounded) {
+  // 100k schedule-then-cancel cycles with a live event run every 100 cycles.
+  // Cancellation recycles slots through the free list, so the pool must stay
+  // a handful of entries no matter how long the churn runs (the historic
+  // tombstone set grew monotonically), and every stale heap entry must have
+  // been dropped as it surfaced during the interleaved runs.
+  EventQueue q;
+  int ran = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    const EventId doomed = q.schedule(Microseconds{i}, [] {});
+    q.cancel(doomed);
+    if (i % 100 == 99) {
+      q.schedule(Microseconds{i}, [&] { ++ran; });
+      q.run_next();
+    }
+  }
+  EXPECT_EQ(ran, 1000);
+  EXPECT_TRUE(q.empty());
+  EXPECT_LE(q.slot_pool_size(), 4u);
+  EXPECT_EQ(q.heap_entries(), 0u);
+}
+
+TEST(EventQueueTest, NextTimeSkipsBurstOfDeadEntries) {
+  // A block of cancelled events ahead of the only live one: next_time must
+  // report the live event, not a dead timestamp.
+  EventQueue q;
+  std::vector<EventId> ids;
+  ids.reserve(1000);
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(q.schedule(Microseconds{i}, [] {}));
+  }
+  q.schedule(Microseconds{5000}, [] {});
+  for (const EventId id : ids) q.cancel(id);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.next_time().count(), 5000);
+}
+
+TEST(EventQueueTest, EqualTimeCancelRescheduleKeepsScheduleOrder) {
+  // Survivors of a cancel wave at one timestamp run in their original
+  // scheduling order, and same-time replacements scheduled afterwards run
+  // after every survivor — cancellation must not perturb the (time, seq)
+  // total order that makes runs reproducible.
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 32; ++i) {
+    ids.push_back(q.schedule(Microseconds{7}, [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 0; i < 32; i += 3) q.cancel(ids[i]);
+  for (int i = 0; i < 8; ++i) {
+    q.schedule(Microseconds{7}, [&order, i] { order.push_back(100 + i); });
+  }
+  while (!q.empty()) q.run_next();
+
+  std::vector<int> expected;
+  for (int i = 0; i < 32; ++i) {
+    if (i % 3 != 0) expected.push_back(i);
+  }
+  for (int i = 0; i < 8; ++i) expected.push_back(100 + i);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(EventQueueTest, StaleIdCannotCancelSlotReuser) {
+  // A cancelled event's slot is recycled by the next schedule; the old
+  // EventId's generation is stale and must not touch the new occupant.
+  EventQueue q;
+  const EventId old_id = q.schedule(Microseconds{1}, [] {});
+  q.cancel(old_id);
+  bool ran = false;
+  q.schedule(Microseconds{2}, [&] { ran = true; });
+  q.cancel(old_id);
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.run_next();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueueTest, CallbackCancelsLaterEventAtSameTime) {
+  EventQueue q;
+  bool second_ran = false;
+  EventId second{};
+  q.schedule(Microseconds{5}, [&] { q.cancel(second); });
+  second = q.schedule(Microseconds{5}, [&] { second_ran = true; });
+  q.schedule(Microseconds{5}, [] {});
+  while (!q.empty()) q.run_next();
+  EXPECT_FALSE(second_ran);
+}
+
 TEST(EventQueueTest, ManyEventsStressOrdering) {
   EventQueue q;
   std::int64_t last = -1;
