@@ -2,12 +2,18 @@
 // bounds every figure sweep, timed as whole pipelines (simulate -> capture ->
 // merge -> analyze) and emitted as BENCH_e2e.json.
 //
-// Two workloads:
+// Three workloads:
 //   E2E_Fig06Sweep      — the frozen standard utilization sweep behind
 //                         Figures 6-15 (45 runs on the experiment runner).
 //   E2E_PlenarySession  — one IETF62 plenary session (workload::run_session)
 //                         plus a full trace analysis, the paper's §4-§6
 //                         pipeline in one call.
+//   E2E_ChurnSession    — one IETF62 day session on the dynamic-population
+//                         driver (Poisson arrivals, lognormal dwell, AP
+//                         roaming, real station teardown + link-id
+//                         recycling): the churn-heavy trajectory the PR 5
+//                         subsystem exists for, guarded so the teardown
+//                         path can never quietly regress into O(arrivals).
 //
 // The JSON mirrors google-benchmark's schema (benchmarks[].name/cpu_time/
 // time_unit) so scripts/perf_guard.py guards it exactly like the micro
@@ -104,7 +110,9 @@ void write_json(const std::string& path, const std::vector<Row>& rows) {
                "(default 18, the frozen sweep)\n"
                "  --plenary-duration S   plenary simulated seconds "
                "(default 60)\n"
-               "  --scale F              plenary population scale "
+               "  --churn-duration S     churn-session simulated seconds "
+               "(default 60)\n"
+               "  --scale F              plenary/churn population scale "
                "(default 1.0: the full 38-AP / 523-user venue)\n"
                "  --help                 this text\n");
   std::exit(code);
@@ -117,6 +125,7 @@ int main(int argc, char** argv) {
   int threads = 1;
   double sweep_duration = 18.0;
   double plenary_duration = 60.0;
+  double churn_duration = 60.0;
   double scale = 1.0;
 
   for (int i = 1; i < argc; ++i) {
@@ -131,6 +140,8 @@ int main(int argc, char** argv) {
       sweep_duration = std::atof(value());
     else if (std::strcmp(argv[i], "--plenary-duration") == 0)
       plenary_duration = std::atof(value());
+    else if (std::strcmp(argv[i], "--churn-duration") == 0)
+      churn_duration = std::atof(value());
     else if (std::strcmp(argv[i], "--scale") == 0) scale = std::atof(value());
     else usage(2);
   }
@@ -192,6 +203,30 @@ int main(int argc, char** argv) {
     });
     r.sim_seconds = plenary_duration;
     std::fprintf(stderr, "E2E_PlenarySession: %.2f s wall, %lld records\n",
+                 r.t.wall_ns / 1e9, static_cast<long long>(r.records));
+    rows.push_back(std::move(r));
+  }
+
+  // One day session under heavy churn/roaming: arrivals, dwell-outs, AP
+  // hops, station teardown and link-id recycling all on the hot path.
+  {
+    Row r;
+    r.name = "E2E_ChurnSession";
+    workload::ScenarioConfig cfg;
+    cfg.seed = 62;
+    cfg.duration_s = churn_duration;
+    cfg.scale = scale;
+    cfg.churn_turnover_per_min = 2.0;  // mean dwell 30 s: brisk turnover
+    r.t = timed([&] {
+      const auto session =
+          workload::run_session(cfg, workload::SessionKind::kDay);
+      const auto analysis = core::TraceAnalyzer{}.analyze(session.trace);
+      core::FigureAccumulator acc;
+      acc.add(analysis);
+      r.records = static_cast<std::int64_t>(session.trace.records.size());
+    });
+    r.sim_seconds = churn_duration;
+    std::fprintf(stderr, "E2E_ChurnSession: %.2f s wall, %lld records\n",
                  r.t.wall_ns / 1e9, static_cast<long long>(r.records));
     rows.push_back(std::move(r));
   }

@@ -60,6 +60,14 @@ std::vector<ApActivity> ap_activity(const trace::Trace& trace) {
     }
   }
 
+  // Last-association-wins client attribution: client_bssid holds each
+  // station's most recent BSSID, so a roaming client counts once, at the AP
+  // it ended on, and mid-capture arrivals simply appear when first heard.
+  for (const auto& [client, bssid] : client_bssid) {
+    (void)client;
+    ++acc[bssid].clients;
+  }
+
   std::vector<ApActivity> out;
   out.reserve(acc.size());
   for (auto& [addr, ap] : acc) out.push_back(ap);

@@ -21,6 +21,11 @@ struct ApActivity {
   std::uint64_t data_frames = 0;
   std::uint64_t control_frames = 0;
   std::uint64_t beacons = 0;
+  /// Distinct client stations whose *latest* data-like frame carried this
+  /// BSSID.  Under churn/roaming a client appears mid-capture and may hop
+  /// APs; last-association-wins keeps each client counted exactly once,
+  /// at the AP it ended up on.
+  std::uint64_t clients = 0;
 };
 
 /// Frames sent/received per virtual AP, sorted descending by total —

@@ -1,5 +1,6 @@
 #include "exp/args.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -17,6 +18,8 @@ namespace {
                "  --duration S    per-run simulated seconds\n"
                "  --out-dir DIR   where CSV series + manifests land (default .)\n"
                "  --only RUN      replay one grid run (a manifest 'run' index)\n"
+               "  --churn LIST    comma-separated churn-rate axis (population\n"
+               "                  turnovers/min; churn scenarios only)\n"
                "  --quiet         no per-run progress on stderr\n"
                "  --help          this text\n");
   std::exit(code);
@@ -71,6 +74,21 @@ BenchArgs parse_bench_args(int argc, char** argv, std::string_view what,
         usage(what, 2);
       }
       args.only_run = static_cast<std::size_t>(parsed);
+    } else if (flag == "--churn") {
+      const std::string list = value();
+      std::size_t pos = 0;
+      while (pos <= list.size()) {
+        const std::size_t comma = std::min(list.find(',', pos), list.size());
+        const std::string tok = list.substr(pos, comma - pos);
+        char* end = nullptr;
+        const double parsed = std::strtod(tok.c_str(), &end);
+        if (tok.empty() || end != tok.c_str() + tok.size()) {
+          std::fprintf(stderr, "--churn wants comma-separated numbers\n");
+          usage(what, 2);
+        }
+        args.churn_rates.push_back(parsed);
+        pos = comma + 1;
+      }
     } else if (flag == "--quiet") {
       args.progress = false;
     } else {
@@ -84,6 +102,7 @@ BenchArgs parse_bench_args(int argc, char** argv, std::string_view what,
 void apply_args(const BenchArgs& args, ExperimentSpec& spec) {
   if (args.seeds > 0) spec.seeds_per_point = args.seeds;
   if (args.duration_s > 0.0) spec.duration_s = args.duration_s;
+  if (!args.churn_rates.empty()) spec.churn_rates = args.churn_rates;
 }
 
 RunnerOptions runner_options(const BenchArgs& args) {

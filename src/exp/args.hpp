@@ -20,6 +20,9 @@ struct BenchArgs {
   std::string out_dir = ".";
   std::optional<std::size_t> only_run;
   bool progress = true;     ///< per-run lines on stderr (--quiet disables)
+  /// --churn values: population turnovers per minute for the churn-rate
+  /// axis (empty = keep the spec's default single-value axis).
+  std::vector<double> churn_rates;
   /// Non-flag arguments in order (capture files for the analysis tools);
   /// only populated when the driver opts in via allow_positionals.
   std::vector<std::string> positionals;

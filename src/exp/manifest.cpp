@@ -34,6 +34,7 @@ RunRecord make_record(const RunSpec& run, const RunOutput& out,
   r.timing = run.timing;
   r.rtscts_fraction = run.rtscts_fraction;
   r.power_margin_db = run.power_margin_db;
+  r.churn_rate = run.churn_rate;
   r.users = run.load.users;
   r.pps = run.load.pps;
   r.far_fraction = run.load.far_fraction;
@@ -95,8 +96,9 @@ std::vector<std::string> manifest_header(bool with_wall) {
   std::vector<std::string> h = {
       "run",         "point",          "seed",
       "scenario",    "rate_policy",    "timing",
-      "rtscts",      "power_margin_db", "users",
-      "pps",         "far",            "window",
+      "rtscts",      "power_margin_db", "churn",
+      "users",       "pps",            "far",
+      "window",
       "duration_s",  "seconds",        "frames",
       "data",        "acks",           "rts",
       "cts",         "retries",        "data_tx",
@@ -113,8 +115,9 @@ std::vector<std::string> manifest_row(const RunRecord& r, bool with_wall) {
   std::vector<std::string> row = {
       num(r.run_index), num(r.point_index), num(r.seed),
       r.scenario, r.rate_policy, r.timing,
-      num(r.rtscts_fraction), num(r.power_margin_db), std::to_string(r.users),
-      num(r.pps), num(r.far_fraction), std::to_string(r.window),
+      num(r.rtscts_fraction), num(r.power_margin_db), num(r.churn_rate),
+      std::to_string(r.users), num(r.pps), num(r.far_fraction),
+      std::to_string(r.window),
       num(r.duration_s), num(r.seconds), num(r.frames),
       num(r.data), num(r.acks), num(r.rts),
       num(r.cts), num(r.retries), num(r.data_tx),

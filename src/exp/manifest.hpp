@@ -28,6 +28,7 @@ struct RunRecord {
   std::string timing;
   double rtscts_fraction = 0.0;
   double power_margin_db = -1.0;
+  double churn_rate = 0.0;  ///< population turnover per minute (churn axis)
   int users = 0;
   double pps = 0.0;
   double far_fraction = 0.0;

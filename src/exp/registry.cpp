@@ -24,8 +24,13 @@ RunOutput run_cell_scenario(const RunSpec& run) {
 
 /// IETF sessions.  The load axis maps onto the session knobs: `users` is
 /// population scale ×100 (10 users ≙ scale 0.1), `pps` the per-user mean
-/// packet rate, `window` the closed-loop window.
-RunOutput run_session_scenario(const RunSpec& run, workload::SessionKind kind) {
+/// packet rate, `window` the closed-loop window.  With `churn` true the
+/// session runs the dynamic-population variant (Poisson arrivals, lognormal
+/// dwell, AP roaming, stations torn down on departure): the spec's
+/// churn-rate axis sets the population turnover per minute, and a
+/// non-positive axis value falls back to one full turnover per minute.
+RunOutput run_session_scenario(const RunSpec& run, workload::SessionKind kind,
+                               bool churn = false) {
   workload::ScenarioConfig cfg;
   cfg.seed = run.seed;
   cfg.duration_s = run.cell.duration_s;
@@ -35,6 +40,9 @@ RunOutput run_session_scenario(const RunSpec& run, workload::SessionKind kind) {
   cfg.rtscts_fraction = run.rtscts_fraction;
   cfg.rate = run.cell.rate;
   cfg.timing = run.cell.timing;
+  if (churn) {
+    cfg.churn_turnover_per_min = run.churn_rate > 0.0 ? run.churn_rate : 1.0;
+  }
 
   const workload::SessionResult result = workload::run_session(cfg, kind);
   RunOutput out;
@@ -52,6 +60,12 @@ ScenarioRegistry::ScenarioRegistry() {
   });
   add("ietf-plenary", [](const RunSpec& run) {
     return run_session_scenario(run, workload::SessionKind::kPlenary);
+  });
+  add("ietf-day-churn", [](const RunSpec& run) {
+    return run_session_scenario(run, workload::SessionKind::kDay, true);
+  });
+  add("ietf-plenary-churn", [](const RunSpec& run) {
+    return run_session_scenario(run, workload::SessionKind::kPlenary, true);
   });
 }
 

@@ -21,7 +21,7 @@ void require_axis(bool non_empty, const char* axis) {
 std::size_t grid_points(const ExperimentSpec& spec) {
   return spec.loads.size() * spec.rtscts_fractions.size() *
          spec.rate_policies.size() * spec.timings.size() *
-         spec.power_margins.size();
+         spec.power_margins.size() * spec.churn_rates.size();
 }
 
 std::vector<RunSpec> expand(const ExperimentSpec& spec) {
@@ -30,6 +30,7 @@ std::vector<RunSpec> expand(const ExperimentSpec& spec) {
   require_axis(!spec.rate_policies.empty(), "rate_policies");
   require_axis(!spec.timings.empty(), "timings");
   require_axis(!spec.power_margins.empty(), "power_margins");
+  require_axis(!spec.churn_rates.empty(), "churn_rates");
   if (spec.seeds_per_point < 1) {
     throw std::invalid_argument("ExperimentSpec: seeds_per_point must be >= 1");
   }
@@ -45,42 +46,45 @@ std::vector<RunSpec> expand(const ExperimentSpec& spec) {
       for (const std::string& policy : spec.rate_policies) {
         for (const std::string& timing : spec.timings) {
           for (double margin : spec.power_margins) {
-            for (int s = 0; s < spec.seeds_per_point; ++s) {
-              RunSpec run;
-              run.run_index = runs.size();
-              run.point_index = point;
-              run.seed_ordinal = s;
-              // Common random numbers: the seed depends only on the load
-              // point and the repeat, so every treatment arm (RTS/CTS,
-              // policy, timing, power) at the same load runs the same
-              // draws and A/B ablation comparisons are paired.
-              run.pair_index =
-                  li * static_cast<std::size_t>(spec.seeds_per_point) +
-                  static_cast<std::size_t>(s);
-              run.seed = util::mix_seed(spec.base_seed, run.pair_index);
+            for (double churn : spec.churn_rates) {
+              for (int s = 0; s < spec.seeds_per_point; ++s) {
+                RunSpec run;
+                run.run_index = runs.size();
+                run.point_index = point;
+                run.seed_ordinal = s;
+                // Common random numbers: the seed depends only on the load
+                // point and the repeat, so every treatment arm (RTS/CTS,
+                // policy, timing, power, churn rate) at the same load runs
+                // the same draws and A/B ablation comparisons are paired.
+                run.pair_index =
+                    li * static_cast<std::size_t>(spec.seeds_per_point) +
+                    static_cast<std::size_t>(s);
+                run.seed = util::mix_seed(spec.base_seed, run.pair_index);
 
-              run.scenario = spec.scenario;
-              run.rate_policy = policy;
-              run.timing = timing;
-              run.rtscts_fraction = rtscts;
-              run.power_margin_db = margin;
-              run.load = load;
+                run.scenario = spec.scenario;
+                run.rate_policy = policy;
+                run.timing = timing;
+                run.rtscts_fraction = rtscts;
+                run.power_margin_db = margin;
+                run.churn_rate = churn;
+                run.load = load;
 
-              run.cell = spec.base;
-              run.cell.seed = run.seed;
-              run.cell.duration_s = spec.duration_s;
-              run.cell.rtscts_fraction = rtscts;
-              run.cell.rate.policy = parse_policy(policy);
-              run.cell.timing = parse_timing(timing);
-              run.cell.auto_power_margin_db = margin;
-              run.cell.num_users = load.users;
-              run.cell.per_user_pps = load.pps;
-              run.cell.far_fraction = load.far_fraction;
-              run.cell.profile.window = load.window;
+                run.cell = spec.base;
+                run.cell.seed = run.seed;
+                run.cell.duration_s = spec.duration_s;
+                run.cell.rtscts_fraction = rtscts;
+                run.cell.rate.policy = parse_policy(policy);
+                run.cell.timing = parse_timing(timing);
+                run.cell.auto_power_margin_db = margin;
+                run.cell.num_users = load.users;
+                run.cell.per_user_pps = load.pps;
+                run.cell.far_fraction = load.far_fraction;
+                run.cell.profile.window = load.window;
 
-              runs.push_back(std::move(run));
+                runs.push_back(std::move(run));
+              }
+              ++point;
             }
-            ++point;
           }
         }
       }

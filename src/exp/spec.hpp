@@ -51,6 +51,14 @@ struct ExperimentSpec {
   std::vector<std::string> timings = {"paper"};
   std::vector<double> rtscts_fractions = {0.05};
   std::vector<double> power_margins = {-1.0};  ///< <0 disables client TPC
+  /// Population turnover per minute for the churn scenarios.  A treatment
+  /// axis like rtscts/policy: churn arms at the same load share seeds, so
+  /// churn-rate sweeps are paired.  Caveats: manifests record the *raw*
+  /// axis value, and a churn scenario substitutes its default (1
+  /// turnover/min) for any value <= 0 — so keep at most one non-positive
+  /// value on the axis; static scenarios ignore the axis entirely, so a
+  /// multi-valued axis there only duplicates runs.
+  std::vector<double> churn_rates = {0.0};
 
   /// Everything not on an axis (traffic profile, geometry, sniffer
   /// capacity, ...).  Axis values, duration_s and seed are overwritten per
@@ -75,6 +83,7 @@ struct RunSpec {
   std::string timing;
   double rtscts_fraction = 0.0;
   double power_margin_db = -1.0;
+  double churn_rate = 0.0;  ///< population turnover per minute (churn axis)
   LoadPoint load;
 
   /// Resolved cell parameters.  The "cell" scenario runs exactly this;

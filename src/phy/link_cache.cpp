@@ -1,8 +1,23 @@
 #include "phy/link_cache.hpp"
 
+#include <cassert>
+
 namespace wlan::phy {
 
 LinkBudgetCache::LinkId LinkBudgetCache::add_endpoint(const Position& position) {
+  if (!free_ids_.empty()) {
+    // Recycle the most recently freed id: overwrite its row in place.  The
+    // pair values against other freed ids are garbage-in-garbage-out — no
+    // live id can read them, and they are rewritten before reuse.
+    const LinkId id = free_ids_.back();
+    free_ids_.pop_back();
+    positions_[id] = position;
+    for (LinkId other = 0; other < static_cast<LinkId>(positions_.size());
+         ++other) {
+      table_[index(id, other)] = prop_->rx_power_dbm(position, positions_[other]);
+    }
+    return id;
+  }
   const auto id = static_cast<LinkId>(positions_.size());
   positions_.push_back(position);
   // No reserve: an exact-size reserve per endpoint would reallocate the
@@ -16,6 +31,14 @@ LinkBudgetCache::LinkId LinkBudgetCache::add_endpoint(const Position& position) 
   // by the channel (senders skip themselves) but keeps indexing dense.
   table_.push_back(prop_->rx_power_dbm(position, position));
   return id;
+}
+
+void LinkBudgetCache::remove_endpoint(LinkId id) {
+  assert(id < positions_.size());
+#ifndef NDEBUG
+  for (const LinkId f : free_ids_) assert(f != id && "double remove_endpoint");
+#endif
+  free_ids_.push_back(id);
 }
 
 }  // namespace wlan::phy

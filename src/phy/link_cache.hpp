@@ -1,13 +1,13 @@
-// Static link-budget cache: pairwise received power between registered
-// endpoints, keyed by compact link ids.
+// Link-budget cache: pairwise received power between registered endpoints,
+// keyed by compact link ids.
 //
-// Node positions are fixed for a simulation run (shadowing is frozen per
-// link, see propagation.hpp), so the received power of every (tx, rx) pair
-// is a run constant — yet the channel hot path used to recompute it per
-// overlap x per receiver x per frame, paying a log10 and (with shadowing
-// enabled) an RNG construction + normal draw every time.  This table pays
-// that cost once per pair, at endpoint registration, and turns SINR
-// evaluation into lookups plus one dBm->mW sum.
+// Node positions are fixed for a node's lifetime on a channel (shadowing is
+// frozen per link, see propagation.hpp), so the received power of every
+// (tx, rx) pair is a constant while both endpoints exist — yet the channel
+// hot path used to recompute it per overlap x per receiver x per frame,
+// paying a log10 and (with shadowing enabled) an RNG construction + normal
+// draw every time.  This table pays that cost once per pair, at endpoint
+// registration, and turns SINR evaluation into lookups plus one dBm->mW sum.
 //
 // The table is the lower triangle of the symmetric pair matrix, stored
 // row-major — appending endpoint N adds exactly its N+1 new pairs at the
@@ -16,6 +16,18 @@
 // floor penalty and the frozen shadowing draw are all symmetric in the
 // endpoint pair, bit-exactly), which keeps cached simulations byte-identical
 // to uncached ones.
+//
+// Id recycling: remove_endpoint returns an id to a free list and the next
+// add_endpoint reuses it (overwriting the freed row's pair entries in
+// place), so the id space — and with it the triangle's memory and the O(id)
+// registration cost — is bounded by the *peak concurrent* endpoint count,
+// not the lifetime total.  Churn-heavy scenarios (stations joining, leaving
+// and roaming for hours) depend on this.  The caller owns the safety
+// invariant: an id may only be removed once nothing references it anymore —
+// sim::Channel defers removal until no in-flight frame names the link (see
+// Channel::release_link_refs).  Entries against freed ids go stale in the
+// table but are unreadable by construction: no live id maps to them until
+// reuse rewrites them.
 #pragma once
 
 #include <cstdint>
@@ -33,8 +45,13 @@ class LinkBudgetCache {
   explicit LinkBudgetCache(const Propagation& prop) : prop_(&prop) {}
 
   /// Registers an endpoint and computes its received power against every
-  /// endpoint registered so far (O(N) for the N-th endpoint).
+  /// id registered so far (O(ids) for the N-th endpoint).  Reuses the
+  /// most recently freed id when one is available.
   LinkId add_endpoint(const Position& position);
+
+  /// Frees `id` for reuse by a later add_endpoint.  The caller must
+  /// guarantee nothing will query this id again until it is re-issued.
+  void remove_endpoint(LinkId id);
 
   /// Received power in dBm between two registered endpoints, excluding any
   /// per-node transmit power offset (the caller folds that in).
@@ -45,7 +62,16 @@ class LinkBudgetCache {
   [[nodiscard]] const Position& position(LinkId id) const {
     return positions_[id];
   }
-  [[nodiscard]] std::size_t endpoints() const { return positions_.size(); }
+
+  /// Ids currently issued (registered and not removed).
+  [[nodiscard]] std::size_t endpoints() const {
+    return positions_.size() - free_ids_.size();
+  }
+  /// High-water mark of the id space — the quantity that bounds the
+  /// triangle's memory and per-registration cost.  With recycling this
+  /// tracks the peak *concurrent* endpoint count; the churn stress test
+  /// pins that bound.
+  [[nodiscard]] std::size_t id_capacity() const { return positions_.size(); }
 
  private:
   [[nodiscard]] static std::size_t index(LinkId a, LinkId b) {
@@ -56,7 +82,8 @@ class LinkBudgetCache {
 
   const Propagation* prop_;
   std::vector<Position> positions_;
-  std::vector<double> table_;  ///< lower triangle, row-major
+  std::vector<double> table_;    ///< lower triangle, row-major
+  std::vector<LinkId> free_ids_; ///< removed ids awaiting reuse (LIFO)
 };
 
 }  // namespace wlan::phy

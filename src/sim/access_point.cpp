@@ -29,6 +29,11 @@ mac::Addr AccessPoint::least_loaded_vap() const {
   return best;
 }
 
+void AccessPoint::deregister_client(mac::Addr client) {
+  assoc_.erase(client);
+  purge_peer(client);
+}
+
 std::size_t AccessPoint::association_count(mac::Addr vap) const {
   std::size_t n = 0;
   for (const auto& [sta, v] : assoc_) {
@@ -72,6 +77,7 @@ void AccessPoint::on_payload(const mac::Frame& f, double /*snr_db*/) {
     }
     case mac::FrameType::kDisassoc:
       assoc_.erase(f.src);
+      forget_peer(f.src);
       return;
     case mac::FrameType::kData:
       sink_bytes_ += f.payload;  // uplink terminates at the wired side

@@ -29,6 +29,13 @@ class AccessPoint : public Station {
   /// BSSID with the fewest associated clients (client load balancing).
   [[nodiscard]] mac::Addr least_loaded_vap() const;
 
+  /// Controller-plane removal of a client that left without a (received)
+  /// Disassoc — the workload layer calls this when it tears a station down
+  /// (roaming/churn), standing in for the enterprise controller's aging.
+  /// Keeps assoc_ and the per-client rate state bounded by the concurrent
+  /// client set.
+  void deregister_client(mac::Addr client);
+
   [[nodiscard]] std::size_t association_count() const { return assoc_.size(); }
   [[nodiscard]] std::size_t association_count(mac::Addr vap) const;
 

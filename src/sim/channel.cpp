@@ -17,8 +17,29 @@ Channel::Channel(Simulator& sim, const phy::Propagation& prop,
       noise_mw_(phy::dbm_to_mw(prop.config().noise_floor_dbm)),
       noise_db_roundtrip_(phy::mw_to_dbm(noise_mw_)) {}
 
+void Channel::track_link(LinkId id) {
+  if (link_refs_.size() <= id) {
+    link_refs_.resize(id + 1, 0);
+    link_departed_.resize(id + 1, 0);
+  }
+  // A recycled id must come back clean: no in-flight frame may still name
+  // it (that is the whole deferment invariant) and its departed flag was
+  // cleared when it was reclaimed.
+  assert(link_refs_[id] == 0);
+  assert(link_departed_[id] == 0);
+}
+
+void Channel::release_link(LinkId id) {
+  assert(link_refs_[id] > 0);
+  if (--link_refs_[id] == 0 && link_departed_[id] != 0) {
+    link_departed_[id] = 0;
+    links_.remove_endpoint(id);
+  }
+}
+
 void Channel::add_node(MacEntity* node) {
   node->link_id_ = links_.add_endpoint(node->position());
+  track_link(node->link_id_);
   nodes_.push_back(node);
   by_addr_.insert_or_assign(node->addr(), node);
 }
@@ -29,6 +50,7 @@ void Channel::add_alias(mac::Addr alias, MacEntity* node) {
 
 void Channel::remove_node(MacEntity* node) {
   cancel_access(node);
+  const LinkId old_link = node->link_id_;
   node->link_id_ = phy::LinkBudgetCache::kNoLink;  // no longer on a channel
   nodes_.erase(std::remove(nodes_.begin(), nodes_.end(), node), nodes_.end());
   std::vector<mac::Addr> owned;
@@ -47,10 +69,23 @@ void Channel::remove_node(MacEntity* node) {
       a.on_air_done = nullptr;
     }
   }
+  // Reclaim the link id.  An in-flight frame referencing the link (as its
+  // sender or in an overlap list) defers the reclaim to the last
+  // release_link — reusing the id earlier would silently re-aim a dead
+  // frame's interference at a newcomer's position.
+  if (old_link != phy::LinkBudgetCache::kNoLink) {
+    if (link_refs_[old_link] == 0) {
+      links_.remove_endpoint(old_link);
+    } else {
+      link_departed_[old_link] = 1;
+    }
+  }
 }
 
 void Channel::add_sniffer(Sniffer* sniffer) {
-  sniffers_.push_back({sniffer, links_.add_endpoint(sniffer->position())});
+  const LinkId link = links_.add_endpoint(sniffer->position());
+  track_link(link);  // never referenced by frames, but keeps indexing dense
+  sniffers_.push_back({sniffer, link});
 }
 
 const MacEntity* Channel::peer(mac::Addr addr) const {
@@ -123,11 +158,17 @@ void Channel::transmit(MacEntity* from, const mac::Frame& frame,
   a.end = sim_.now() + frame.airtime();
   a.on_air_done = std::move(on_air_done);
   a.overlaps.clear();  // recycled slot: keep the buffer, drop old entries
-  // Mutual overlap bookkeeping with everything already on air.
+  // Mutual overlap bookkeeping with everything already on air.  Every link
+  // id stored into an Active (the sender's own plus each overlap entry)
+  // takes an in-flight reference that pins the id against recycling until
+  // the holding frame leaves the air.
+  ++link_refs_[a.from_link];
   for (const std::uint32_t other_slot : on_air_) {
     Active& other = frame_pool_[other_slot];
     other.overlaps.push_back({a.from_link, a.power_offset_db});
+    ++link_refs_[a.from_link];
     a.overlaps.push_back({other.from_link, other.power_offset_db});
+    ++link_refs_[other.from_link];
   }
   a.on_air_pos = static_cast<std::uint32_t>(on_air_.size());
   on_air_.push_back(slot);
@@ -187,6 +228,10 @@ void Channel::on_transmission_end(std::uint32_t slot, std::uint64_t frame_id) {
     done.on_air_done = nullptr;  // release captures; next swap would anyway
   }
   evaluate_receptions(done);
+  // The frame is fully processed: drop its link references.  A link whose
+  // owner departed mid-air is recycled here, on the last holder's release.
+  release_link(done.from_link);
+  for (const Interferer& i : done.overlaps) release_link(i.link);
   if (on_air_.empty()) medium_went_idle();
 }
 

@@ -44,10 +44,15 @@ class Channel {
   Channel& operator=(const Channel&) = delete;
 
   /// Registers a node under its primary address and gives it a link id in
-  /// the channel's link-budget cache (O(nodes) pairwise precomputation).
+  /// the channel's link-budget cache (O(concurrent nodes) pairwise
+  /// precomputation; departed nodes' ids are recycled).
   void add_node(MacEntity* node);
   /// Registers an extra receive address for `node` (virtual-AP BSSIDs).
   void add_alias(mac::Addr alias, MacEntity* node);
+  /// Unregisters a node.  Its link id is reclaimed for reuse as soon as no
+  /// in-flight frame references the link (immediately when the air is
+  /// clear) — the recycling that keeps channel memory and registration cost
+  /// proportional to the concurrent population under churn.
   void remove_node(MacEntity* node);
   void add_sniffer(Sniffer* sniffer);
 
@@ -96,6 +101,15 @@ class Channel {
   [[nodiscard]] std::uint64_t transmissions() const { return tx_count_; }
   [[nodiscard]] std::uint64_t collisions() const { return collision_count_; }
 
+  /// Link-budget-cache occupancy, for tests pinning the recycling bound:
+  /// live ids (current members + sniffers) and the id-space high-water mark
+  /// (which recycling keeps at the peak concurrent count, not the lifetime
+  /// total).
+  [[nodiscard]] std::size_t live_links() const { return links_.endpoints(); }
+  [[nodiscard]] std::size_t link_capacity() const {
+    return links_.id_capacity();
+  }
+
  private:
   using LinkId = phy::LinkBudgetCache::LinkId;
 
@@ -127,6 +141,12 @@ class Channel {
   };
 
   void on_transmission_end(std::uint32_t slot, std::uint64_t frame_id);
+  /// In-flight reference counting on link ids: a frame pins its sender's
+  /// link plus every link in its overlap list until it leaves the air, so a
+  /// departed endpoint's id is only handed back to the cache once nothing
+  /// can index it anymore (deferred recycling; see remove_node).
+  void track_link(LinkId id);
+  void release_link(LinkId id);
   void evaluate_receptions(const Active& done);
   void record_ground_truth(const Active& done, trace::TxOutcome outcome);
   void medium_went_idle();
@@ -141,6 +161,10 @@ class Channel {
   std::uint8_t number_;
   util::Rng rng_;
   phy::LinkBudgetCache links_;
+  /// Per-link-id in-flight frame references and the departed-pending-recycle
+  /// flag (indexed by link id, grown on registration).
+  std::vector<std::uint32_t> link_refs_;
+  std::vector<std::uint8_t> link_departed_;
   phy::FrameSuccessCache frame_success_;
   /// Noise floor in mW and its dB round-trip, hoisted out of sinr_db_at
   /// (bit-identical to recomputing per call; see sinr_db_at).

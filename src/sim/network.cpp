@@ -1,5 +1,6 @@
 #include "sim/network.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace wlan::sim {
@@ -45,9 +46,45 @@ Station& Network::add_station(std::uint8_t channel_no,
                               const StationConfig& config) {
   StationConfig cfg = config;
   if (cfg.seed == 1) cfg.seed = rng_.next();
-  stations_.push_back(std::make_unique<Station>(channel(channel_no),
-                                                allocate_addr(), cfg));
+  const mac::Addr addr =
+      cfg.addr != mac::kNoAddr ? cfg.addr : allocate_addr();
+  stations_.push_back(
+      std::make_unique<Station>(channel(channel_no), addr, cfg));
   return *stations_.back();
+}
+
+mac::Addr Network::allocate_addr() {
+  if (!free_addrs_.empty()) {
+    const mac::Addr addr = free_addrs_.front();
+    free_addrs_.pop_front();
+    return addr;
+  }
+  if (next_addr_ >= mac::kNoAddr) {
+    throw std::runtime_error(
+        "Network: MAC address space exhausted (concurrent population "
+        "exceeds the 16-bit model address range)");
+  }
+  return next_addr_++;
+}
+
+void Network::remove_station(Station* station) {
+  const mac::Addr addr = station->addr();
+  station->shutdown();  // idempotent; also re-cancels any re-armed timer
+  station->channel().remove_node(station);
+  const auto it =
+      std::find_if(stations_.begin(), stations_.end(),
+                   [&](const std::unique_ptr<Station>& s) {
+                     return s.get() == station;
+                   });
+  if (it != stations_.end()) stations_.erase(it);
+  // A relocating user keeps its MAC (the new station already owns `addr`);
+  // only a fully vacated address goes back in the pool.
+  const bool still_in_use =
+      std::any_of(stations_.begin(), stations_.end(),
+                  [&](const std::unique_ptr<Station>& s) {
+                    return s->addr() == addr;
+                  });
+  if (!still_in_use) free_addrs_.push_back(addr);
 }
 
 Sniffer& Network::add_sniffer(const SnifferConfig& config) {

@@ -2,6 +2,7 @@
 // and sniffers, and provides the builder API the workload layer uses.
 #pragma once
 
+#include <deque>
 #include <memory>
 #include <vector>
 
@@ -66,6 +67,16 @@ class Network {
   /// Creates a client station on `channel_no`.
   Station& add_station(std::uint8_t channel_no, const StationConfig& config);
 
+  /// Destroys a departed station: unregisters it from its channel (its link
+  /// id recycles once no in-flight frame references it) and frees the
+  /// object, so long-running churn keeps memory proportional to the
+  /// concurrent population.  Contract: call at least one maximum frame
+  /// exchange (~20 ms simulated) after Station::shutdown() — shutdown stops
+  /// new self-referencing events, but SIFS responses and response timeouts
+  /// already scheduled still fire within that window.  The workload layer's
+  /// departure path waits 100 ms.
+  void remove_station(Station* station);
+
   Sniffer& add_sniffer(const SnifferConfig& config);
 
   /// Association decision (paper §4.1: strongest AP, least-loaded VAP).
@@ -94,7 +105,13 @@ class Network {
     return sniffers_;
   }
 
-  [[nodiscard]] mac::Addr allocate_addr() { return next_addr_++; }
+  /// Next free MAC address.  Addresses released by remove_station recycle
+  /// (FIFO, so a recycled address rests as long as possible before reuse),
+  /// keeping consumption bounded by the concurrent population — the 16-bit
+  /// space would otherwise wrap within a few simulated hours of churn.
+  /// Throws on true exhaustion rather than silently colliding with the
+  /// kNoAddr/kBroadcast sentinels.
+  [[nodiscard]] mac::Addr allocate_addr();
 
  private:
   Simulator sim_;
@@ -110,6 +127,7 @@ class Network {
   std::uint64_t frame_counter_ = 0;
   double ap_power_offset_db_ = 5.0;
   mac::Addr next_addr_ = 1;
+  std::deque<mac::Addr> free_addrs_;  ///< released by remove_station
 };
 
 }  // namespace wlan::sim

@@ -34,6 +34,56 @@ rate::RateController& Station::controller_for(mac::Addr peer_addr) {
 
 Station::~Station() = default;
 
+void Station::forget_peer(mac::Addr peer) {
+  // Keep the controller while any queued packet still targets the peer: its
+  // retries must continue from the adapted state, not restart from scratch
+  // (departures racing queued downlink are common, and forgetting mid-drain
+  // would perturb the frozen static-scenario trajectories).
+  for (const Packet& p : queue_) {
+    if (p.dst == peer) return;
+  }
+  rate::RateController** it = controller_index_.find(peer);
+  if (it == nullptr) return;
+  rate::RateController* gone = *it;
+  controller_index_.erase(peer);
+  for (auto c = controllers_.begin(); c != controllers_.end(); ++c) {
+    if (c->get() == gone) {
+      controllers_.erase(c);
+      break;
+    }
+  }
+}
+
+void Station::purge_peer(mac::Addr peer) {
+  // Everything behind the head is fair game; the head (whenever the queue
+  // is non-empty the state machine owns it) finishes on its own.  Collect
+  // completion callbacks first: invoking them mid-iteration could re-enter
+  // enqueue() and invalidate the traversal.
+  std::vector<std::function<void(bool)>> failed;
+  if (!queue_.empty()) {
+    for (auto p = queue_.begin() + 1; p != queue_.end();) {
+      if (p->dst == peer) {
+        if (p->on_complete) failed.push_back(std::move(p->on_complete));
+        p = queue_.erase(p);
+      } else {
+        ++p;
+      }
+    }
+  }
+  if (!queue_.empty() && queue_.front().dst == peer) {
+    // Head is mid-exchange toward the peer, so forget_peer below would
+    // refuse and nothing would ever retry — leaking the controller.  The
+    // head drains within the retry limit (no new packets for a
+    // deregistered client enqueue, and its recycled address rests at the
+    // back of the FIFO pool far longer than this), so one deferred
+    // re-purge finishes the job.
+    channel_.simulator().in(Microseconds{50'000},
+                            [this, peer] { purge_peer(peer); });
+  }
+  forget_peer(peer);
+  for (auto& fn : failed) fn(false);
+}
+
 void Station::enqueue(Packet packet) {
   if (!active_) {
     if (packet.on_complete) packet.on_complete(false);
@@ -51,9 +101,10 @@ void Station::enqueue(Packet packet) {
 }
 
 void Station::shutdown() {
-  if (!active_) return;
-  active_ = false;
-  if (state_ == State::kContending) channel_.cancel_access(this);
+  // Timer cancellation stays outside the idempotence guard: a frame already
+  // on the air when the first shutdown ran re-arms the response timer from
+  // its on_air_done, and Network::remove_station re-invokes shutdown to
+  // clear exactly that before the object is freed.
   if (response_timer_set_) {
     channel_.simulator().cancel(response_timer_);
     response_timer_set_ = false;
@@ -62,6 +113,9 @@ void Station::shutdown() {
     channel_.simulator().cancel(sifs_timer_);
     sifs_timer_set_ = false;
   }
+  if (!active_) return;
+  active_ = false;
+  if (state_ == State::kContending) channel_.cancel_access(this);
   // Flush the queue, failing any completion-clocked flows.
   std::deque<Packet> drained;
   drained.swap(queue_);
@@ -129,6 +183,7 @@ void Station::transmit_head() {
     ++stats_.rts_sent;
     state_ = State::kWaitCts;
     channel_.transmit(this, rts, [this] {
+      if (!active_) return;  // shut down while the RTS was on the air
       response_timer_ = channel_.simulator().in(
           channel_.timing().cts_timeout(), [this] { on_cts_timeout(); });
       response_timer_set_ = true;
@@ -160,6 +215,7 @@ void Station::send_data_frame() {
 
   state_ = State::kWaitAck;
   channel_.transmit(this, f, [this] {
+    if (!active_) return;  // shut down while the frame was on the air
     response_timer_ = channel_.simulator().in(channel_.timing().ack_timeout(),
                                               [this] { on_ack_timeout(); });
     response_timer_set_ = true;

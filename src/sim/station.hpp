@@ -52,6 +52,10 @@ struct StationConfig {
   /// (cf. the frame-size optimizations of the paper's related work).
   std::uint32_t frag_threshold = 0;
   std::uint64_t seed = 1;
+  /// kNoAddr lets the network allocate; a relocating user passes its old
+  /// station's address so the client keeps one MAC identity across roams
+  /// (as real hardware does).
+  mac::Addr addr = mac::kNoAddr;
 };
 
 /// Counters exposed for tests and benches (ground truth, not sniffed).
@@ -92,6 +96,20 @@ class Station : public MacEntity {
 
   /// Adjusts transmit power at runtime (transmit power control).
   void set_tx_power_offset_db(double db) { config_.tx_power_offset_db = db; }
+
+  /// Drops the per-peer rate-controller state for a departed peer (the AP
+  /// calls this on Disassoc), so a node's adaptation state stays bounded by
+  /// its concurrent peer set under churn.  Recreated on demand if the peer
+  /// reappears.  Skipped while a queued packet still targets the peer (its
+  /// retries must continue from the adapted state).
+  void forget_peer(mac::Addr peer);
+
+  /// Stronger controller-plane cleanup for a peer that is gone for good
+  /// (AccessPoint::deregister_client): fails out queued not-yet-in-flight
+  /// packets to the peer — they would only burn airtime on doomed retries —
+  /// then forgets its controller.  The current head, if mid-exchange toward
+  /// the peer, drains through the retry limit untouched.
+  void purge_peer(mac::Addr peer);
 
   [[nodiscard]] const StationStats& stats() const { return stats_; }
   [[nodiscard]] Channel& channel() { return channel_; }

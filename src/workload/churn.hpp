@@ -1,0 +1,99 @@
+// Dynamic-population churn and roaming.
+//
+// The paper's congestion data comes from a live conference floor: hundreds
+// of attendees associate, roam between the three monitored APs, and leave
+// throughout the day.  ChurnProcess reproduces that dimension as a marked
+// point process on the simulation clock:
+//
+//   * arrivals  — Poisson with configurable rate (exponential gaps),
+//   * dwell     — lognormal sojourn per attendee (heavy right tail: most
+//                 people drop by briefly, a few camp all day), after which
+//                 the session departs and its station is torn down for real
+//                 (Network::remove_station -> link-id recycling),
+//   * mobility  — each attendee re-draws a position at exponential
+//                 intervals and re-associates, switching to the strongest
+//                 AP when the current one has fallen `roam_hysteresis_db`
+//                 behind (802.11 roaming with hysteresis).
+//
+// Determinism: every stream is derived from the config seed with
+// util::mix_seed — the arrival process uses stream 0, attendee i uses
+// streams 2i+1 (session) and 2i+2 (mobility) — so a run is a pure function
+// of (seed, config) regardless of how many attendees end up spawned, and
+// exp-runner sweeps can pair churn arms across treatments.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "workload/user.hpp"
+
+namespace wlan::workload {
+
+struct ChurnConfig {
+  std::uint64_t seed = 1;
+  /// Mean attendee arrivals per simulated second (Poisson).
+  double arrivals_per_s = 1.0;
+  /// Mean of the lognormal dwell time, seconds.  By Little's law the
+  /// steady-state population is arrivals_per_s * dwell_mean_s.
+  double dwell_mean_s = 60.0;
+  /// Sigma of the underlying normal (shape of the dwell tail).
+  double dwell_sigma = 0.75;
+  /// Mean interval between mobility checks per attendee, seconds.
+  double roam_check_mean_s = 20.0;
+  /// Probability a mobility check actually moves the attendee.
+  double move_probability = 0.5;
+  /// A moved attendee switches AP only when the best candidate beats the
+  /// current AP by more than this margin at the new position.
+  double roam_hysteresis_db = 6.0;
+
+  TrafficProfile profile;
+  double rtscts_fraction = 0.03;
+  rate::ControllerConfig rate;
+  /// Position generator for arrivals and moves.
+  std::function<phy::Position(util::Rng&)> placement;
+};
+
+/// Owns the attendee sessions it spawns; construction schedules the first
+/// arrival and everything after that rides the event queue.  Arrivals stop
+/// at `horizon` (sessions already present still depart on their own
+/// schedule if the simulation runs on).
+class ChurnProcess {
+ public:
+  ChurnProcess(sim::Network& net, ChurnConfig config, Microseconds horizon);
+
+  ChurnProcess(const ChurnProcess&) = delete;
+  ChurnProcess& operator=(const ChurnProcess&) = delete;
+
+  [[nodiscard]] std::size_t arrivals() const { return members_.size(); }
+  [[nodiscard]] std::size_t live() const { return live_; }
+  [[nodiscard]] std::size_t peak_live() const { return peak_live_; }
+  [[nodiscard]] std::uint64_t moves() const { return moves_; }
+  [[nodiscard]] std::uint64_t roams() const { return roams_; }
+
+ private:
+  struct Member {
+    std::unique_ptr<UserSession> session;
+    util::Rng rng;  ///< mobility stream (positions, move draws, intervals)
+    Microseconds leave{0};
+  };
+
+  void schedule_next_arrival();
+  void arrive();
+  void schedule_mobility(std::size_t index);
+  void mobility_check(std::size_t index);
+  [[nodiscard]] phy::Position draw_position(util::Rng& rng);
+
+  sim::Network& net_;
+  ChurnConfig config_;
+  Microseconds horizon_;
+  util::Rng arrival_rng_;
+  std::vector<Member> members_;
+  std::size_t live_ = 0;
+  std::size_t peak_live_ = 0;
+  std::uint64_t moves_ = 0;
+  std::uint64_t roams_ = 0;
+};
+
+}  // namespace wlan::workload

@@ -75,16 +75,13 @@ Scenario Scenario::build(const ScenarioConfig& cfg, SessionKind kind) {
     };
   }
 
-  UserManagerConfig users;
-  users.profile = cfg.profile;
-  users.rtscts_fraction = cfg.rtscts_fraction;
-  users.rate = cfg.rate;
   // Day: 40% of users in the monitored room, rest spread over the venue.
   // Plenary: everyone in the combined ballroom.  The plan is captured by
   // value: the Scenario object is moved on return.
   const FloorPlan plan = s.plan_;
+  std::function<phy::Position(util::Rng&)> placement;
   if (kind == SessionKind::kDay) {
-    users.placement = [plan](util::Rng& rng) {
+    placement = [plan](util::Rng& rng) {
       if (rng.chance(0.4)) {
         return random_position_in(plan.rooms[plan.monitored_room], rng);
       }
@@ -92,10 +89,39 @@ Scenario Scenario::build(const ScenarioConfig& cfg, SessionKind kind) {
       return random_position_in(plan.rooms[idx], rng);
     };
   } else {
-    users.placement = [plan](util::Rng& rng) {
+    placement = [plan](util::Rng& rng) {
       return random_position_in(plan.rooms[plan.monitored_room], rng);
     };
   }
+
+  if (cfg.churn_turnover_per_min > 0.0) {
+    // Dynamic population: Poisson arrivals sized so the steady-state
+    // attendance (Little's law: rate x mean dwell) matches the scaled peak,
+    // with the turnover knob trading dwell against arrival rate at constant
+    // expected load.  Seed stream is split off the scenario seed so the
+    // network/AP draws stay untouched.
+    ChurnConfig churn;
+    churn.seed = util::mix_seed(cfg.seed, 0xC4u);
+    churn.arrivals_per_s = cfg.churn_turnover_per_min * peak_users / 60.0;
+    churn.dwell_mean_s = 60.0 / cfg.churn_turnover_per_min;
+    churn.dwell_sigma = cfg.churn_dwell_sigma;
+    churn.roam_check_mean_s = cfg.churn_roam_mean_s;
+    churn.move_probability = cfg.churn_move_probability;
+    churn.roam_hysteresis_db = cfg.churn_roam_hysteresis_db;
+    churn.profile = cfg.profile;
+    churn.rtscts_fraction = cfg.rtscts_fraction;
+    churn.rate = cfg.rate;
+    churn.placement = std::move(placement);
+    s.churn_ = std::make_unique<ChurnProcess>(*s.net_, std::move(churn),
+                                              s.duration_);
+    return s;
+  }
+
+  UserManagerConfig users;
+  users.profile = cfg.profile;
+  users.rtscts_fraction = cfg.rtscts_fraction;
+  users.rate = cfg.rate;
+  users.placement = std::move(placement);
 
   s.users_ = std::make_unique<UserManager>(*s.net_, std::move(users),
                                            std::move(curve), s.duration_);

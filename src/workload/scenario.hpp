@@ -14,6 +14,7 @@
 
 #include "sim/network.hpp"
 #include "trace/merge.hpp"
+#include "workload/churn.hpp"
 #include "workload/floorplan.hpp"
 #include "workload/traffic.hpp"
 #include "workload/user.hpp"
@@ -39,6 +40,21 @@ struct ScenarioConfig {
   double rtscts_fraction = 0.03;
   rate::ControllerConfig rate;
   mac::TimingProfile timing = mac::TimingProfile::kPaper;
+
+  // --- population dynamics -------------------------------------------------
+  /// > 0 switches the session from the classic fixed-curve UserManager to
+  /// the dynamic ChurnProcess: attendees arrive as a Poisson process at
+  /// `churn_turnover_per_min` * (scaled peak population) / 60 arrivals per
+  /// second, dwell lognormally (mean chosen by Little's law so the
+  /// steady-state population matches the scaled peak), roam between APs,
+  /// and are torn down — link ids recycled — when they leave.  Expressed as
+  /// population turnover so sweeping it varies churn intensity at constant
+  /// expected load.
+  double churn_turnover_per_min = 0.0;
+  double churn_dwell_sigma = 0.75;
+  double churn_roam_mean_s = 20.0;
+  double churn_move_probability = 0.5;
+  double churn_roam_hysteresis_db = 6.0;
 };
 
 /// A built session: network + population dynamics + metadata.
@@ -54,7 +70,12 @@ class Scenario {
   [[nodiscard]] const FloorPlan& floorplan() const { return plan_; }
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] Microseconds duration() const { return duration_; }
+  /// Fixed-population manager; only present when churn is disabled.
   [[nodiscard]] const UserManager& users() const { return *users_; }
+  /// Dynamic-population process; only present when churn is enabled
+  /// (ScenarioConfig::churn_turnover_per_min > 0).
+  [[nodiscard]] bool has_churn() const { return churn_ != nullptr; }
+  [[nodiscard]] const ChurnProcess& churn() const { return *churn_; }
 
   /// Paper Table 1 rows for both sessions.
   [[nodiscard]] static std::vector<DataSetInfo> table1();
@@ -67,6 +88,7 @@ class Scenario {
   FloorPlan plan_;
   std::unique_ptr<sim::Network> net_;
   std::unique_ptr<UserManager> users_;
+  std::unique_ptr<ChurnProcess> churn_;
   Microseconds duration_{0};
 };
 

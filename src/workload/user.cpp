@@ -27,12 +27,17 @@ void UserSession::join() {
   }
   ap_ = choice.ap;
   vap_ = choice.vap;
+  bring_up_station();
+  associate();
+}
 
+void UserSession::bring_up_station(mac::Addr reuse_addr) {
   sim::StationConfig cfg;
   cfg.position = spec_.position;
   cfg.use_rtscts = spec_.use_rtscts;
   cfg.rate = spec_.rate;
   cfg.seed = rng_.next();
+  cfg.addr = reuse_addr;
   if (spec_.auto_power_margin_db >= 0.0) {
     // Transmit power control: boost until 11 Mbps clears its SNR threshold
     // with the requested margin (paper §7's suggested remedy).
@@ -43,10 +48,78 @@ void UserSession::join() {
     cfg.tx_power_offset_db =
         std::clamp(needed - snr, 0.0, spec_.max_power_boost_db);
   }
-  station_ = &net_.add_station(choice.channel, cfg);
+  station_ = &net_.add_station(ap_->channel().number(), cfg);
   station_->set_payload_handler(
       [this](const mac::Frame& f) { on_station_payload(f); });
+}
+
+void UserSession::retire_station(sim::AccessPoint* deregister_ap) {
+  sim::Station* old = station_;
+  station_ = nullptr;
+  old->shutdown();
+  if (spec_.remove_on_depart) {
+    // Real teardown after a grace period (see Network::remove_station's
+    // contract): pending SIFS responses and timeouts drain first, then the
+    // radio unregisters and its link id recycles.  When the client is gone
+    // from `deregister_ap` for good (departure / roam-away), that AP's
+    // controller ages it out at the same moment — its Disassoc may have
+    // been lost, and a roamer sends none.  Captures no session state: the
+    // event is self-contained.
+    sim::Network* net = &net_;
+    const mac::Addr old_addr = old->addr();
+    net_.simulator().in(msec(100), [this, net, old, deregister_ap, old_addr] {
+      // Roam-back guard: if a mobility check brought the client back to
+      // this very AP inside the grace window, it is legitimately
+      // associated again — aging it out now would wipe that fresh
+      // association.  Departure (ap_ == deregister_ap, departed_) still
+      // ages out.
+      if (deregister_ap && (departed_ || deregister_ap != ap_)) {
+        deregister_ap->deregister_client(old_addr);
+      }
+      net->remove_station(old);
+    });
+  }
+}
+
+bool UserSession::relocate(const phy::Position& pos, double hysteresis_db) {
+  if (departed_ || !station_ || !associated_) return false;
+
+  // 802.11 roaming decision at the new position: stay with the current AP
+  // inside the hysteresis band, switch to the strongest one outside it.
+  bool roamed = false;
+  sim::AccessPoint* next_ap = ap_;
+  mac::Addr next_vap = vap_;
+  const auto choice = net_.choose_ap(pos);
+  if (choice.ap && choice.ap != ap_) {
+    const double keep_snr = net_.propagation().snr_db(pos, ap_->position());
+    const double best_snr =
+        net_.propagation().snr_db(pos, choice.ap->position());
+    if (best_snr - keep_snr > hysteresis_db) {
+      next_ap = choice.ap;
+      next_vap = choice.vap;
+      roamed = true;
+    }
+  }
+
+  // Kill the old station generation's traffic chains before the shutdown
+  // below flushes its queue (completion callbacks re-arm closed-loop flows;
+  // the epoch bump makes those re-arms no-ops).  The client keeps its MAC
+  // across the move, so only a roam-away warrants aging it out of the old
+  // AP — on a same-AP move that would wipe the imminent re-association.
+  ++session_epoch_;
+  ++packet_epoch_;
+  const mac::Addr keep_addr = station_->addr();
+  retire_station(roamed ? ap_ : nullptr);
+  spec_.position = pos;
+  ap_ = next_ap;
+  vap_ = next_vap;
+
+  associated_ = false;
+  on_ = false;
+  assoc_attempts_ = 0;
+  bring_up_station(keep_addr);
   associate();
+  return roamed;
 }
 
 void UserSession::associate() {
@@ -58,9 +131,12 @@ void UserSession::associate() {
   req.bssid = vap_;
   station_->enqueue(std::move(req));
   // Re-try a lost handshake; after several attempts proceed anyway so a
-  // congested join cannot wedge the session forever.
-  net_.simulator().in(msec(500), [this] {
-    if (departed_ || associated_) return;
+  // congested join cannot wedge the session forever.  Epoch-guarded like
+  // every deferred chain: a retry armed before a relocation must not fold
+  // into the fresh generation's handshake (it would double the AssocReq
+  // cadence and double-count assoc_attempts_).
+  net_.simulator().in(msec(500), [this, epoch = session_epoch_] {
+    if (epoch != session_epoch_ || departed_ || associated_) return;
     if (assoc_attempts_ < 5) {
       associate();
     } else {
@@ -102,7 +178,9 @@ void UserSession::launch_flow(bool uplink) {
   if (share <= 0.0) return;
   const double think_s = rng_.exponential(1.0 / (spec_.profile.mean_pps * share));
   net_.simulator().in(Microseconds{static_cast<std::int64_t>(think_s * 1e6)},
-                      [this, uplink] { send_closed_loop(uplink); });
+                      [this, uplink, epoch = session_epoch_] {
+                        if (epoch == session_epoch_) send_closed_loop(uplink);
+                      });
 }
 
 void UserSession::send_closed_loop(bool uplink) {
@@ -111,7 +189,9 @@ void UserSession::send_closed_loop(bool uplink) {
   p.payload = sample_payload(spec_.profile, rng_);
   p.type = mac::FrameType::kData;
   p.bssid = vap_;
-  p.on_complete = [this, uplink](bool) { launch_flow(uplink); };
+  p.on_complete = [this, uplink, epoch = session_epoch_](bool) {
+    if (epoch == session_epoch_) launch_flow(uplink);
+  };
   if (uplink) {
     p.dst = vap_;
     station_->enqueue(std::move(p));
@@ -130,7 +210,9 @@ void UserSession::toggle_onoff(bool now_on) {
   const double mean_off = mean_on * (1.0 - f) / f;
   const double hold_s = rng_.exponential(now_on ? mean_on : mean_off);
   net_.simulator().in(Microseconds{static_cast<std::int64_t>(hold_s * 1e6)},
-                      [this, now_on] { toggle_onoff(!now_on); });
+                      [this, now_on, epoch = session_epoch_] {
+                        if (epoch == session_epoch_) toggle_onoff(!now_on);
+                      });
   if (on_) schedule_next_packet();
 }
 
@@ -167,14 +249,22 @@ void UserSession::depart() {
     return;
   }
   departed_ = true;
+  ++session_epoch_;
   Packet bye;
   bye.dst = vap_;
   bye.type = mac::FrameType::kDisassoc;
   bye.bssid = vap_;
   station_->enqueue(std::move(bye));
-  // Give the disassoc a moment on the air, then power the radio off.
+  // Give the disassoc a moment on the air, then power the radio off — and,
+  // for churn sessions, retire it for real (link id recycled, memory freed).
   net_.simulator().in(msec(100), [this] {
-    if (station_) station_->shutdown();
+    if (station_) {
+      if (spec_.remove_on_depart) {
+        retire_station(ap_);  // shuts down now, removes after its own grace
+      } else {
+        station_->shutdown();
+      }
+    }
   });
 }
 

@@ -31,6 +31,11 @@ struct UserSpec {
   /// this much margin (dB), up to `max_power_boost_db`.
   double auto_power_margin_db = -1.0;
   double max_power_boost_db = 12.0;
+  /// Tear the station down for real on departure/relocation
+  /// (Network::remove_station — link id recycled, memory freed).  Off by
+  /// default: the classic fixed-population scenarios keep departed radios
+  /// registered, and their frozen trajectories depend on that.
+  bool remove_on_depart = false;
 };
 
 class UserSession {
@@ -48,9 +53,29 @@ class UserSession {
   /// when the population curve demands departures).
   void depart();
 
+  /// The attendee walks to `pos` (a new radio environment).  Because link
+  /// budgets are frozen per position, the move retires the old station
+  /// (recycling its link id) and brings up a fresh one, then re-associates:
+  /// to the *strongest* AP if the current AP's signal at the new position
+  /// has fallen more than `hysteresis_db` below the best candidate's —
+  /// 802.11 roaming — and to the current AP otherwise.  Returns true when
+  /// the AP changed (a roam), false otherwise; no-op before the first
+  /// association or after departure.
+  bool relocate(const phy::Position& pos, double hysteresis_db);
+
+  [[nodiscard]] const sim::AccessPoint* ap() const { return ap_; }
+
  private:
   void join();
   void associate();
+  /// Creates the station on ap_'s channel; `reuse_addr` keeps the MAC
+  /// identity across relocations (kNoAddr = allocate a fresh one).
+  void bring_up_station(mac::Addr reuse_addr = mac::kNoAddr);
+  /// Shuts the current station down and (churn mode) schedules its real
+  /// removal; `deregister_ap` additionally ages the client out of that
+  /// AP's controller state — wanted on departure and roam-away, NOT on a
+  /// same-AP move (the re-association would be wiped).
+  void retire_station(sim::AccessPoint* deregister_ap);
   void on_station_payload(const mac::Frame& frame);
   void start_traffic();
   void schedule_next_packet();
@@ -73,6 +98,11 @@ class UserSession {
   int assoc_attempts_ = 0;
   /// Guards against duplicate packet chains across ON/OFF toggles.
   std::uint64_t packet_epoch_ = 0;
+  /// Bumped on relocation/departure; pending traffic-chain callbacks
+  /// (ON/OFF toggles, closed-loop completions) from the previous station
+  /// generation check it and die off, so each re-association restarts
+  /// exactly one set of chains.
+  std::uint64_t session_epoch_ = 0;
 };
 
 /// Target population curve: simulated seconds -> desired user count.

@@ -75,6 +75,23 @@ TEST(ApActivityTest, EmptyTrace) {
   EXPECT_TRUE(ap_activity(trace::Trace{}).empty());
 }
 
+TEST(ApActivityTest, RoamingClientCountsOnceAtItsLatestAp) {
+  // A churn capture: client 1 appears mid-run on AP 100, roams to AP 200;
+  // client 2 stays on 100.  Last association wins — nobody double-counts.
+  const auto aps = ap_activity(as_trace({
+      rec(0, mac::FrameType::kBeacon, 100, mac::kBroadcast, 100),
+      rec(5, mac::FrameType::kBeacon, 200, mac::kBroadcast, 200),
+      rec(10, mac::FrameType::kData, 2, 100, 100),
+      rec(50'000, mac::FrameType::kData, 1, 100, 100),  // appears mid-run
+      rec(90'000, mac::FrameType::kData, 1, 200, 200),  // roams to 200
+  }));
+  ASSERT_EQ(aps.size(), 2u);
+  const auto& ap100 = aps[0].bssid == 100 ? aps[0] : aps[1];
+  const auto& ap200 = aps[0].bssid == 200 ? aps[0] : aps[1];
+  EXPECT_EQ(ap100.clients, 1u);  // client 2 only; client 1 moved on
+  EXPECT_EQ(ap200.clients, 1u);  // client 1 ended here
+}
+
 TEST(UserCountTest, CountsActiveClients) {
   // Two clients active in the first window, one in the second.
   UserCountConfig cfg;

@@ -13,10 +13,12 @@ namespace {
 
 TEST(RegistryTest, BuiltInScenariosAreRegistered) {
   const auto names = ScenarioRegistry::instance().names();
-  ASSERT_EQ(names.size(), 3u);
+  ASSERT_EQ(names.size(), 5u);
   EXPECT_EQ(names[0], "cell");          // names() sorts
   EXPECT_EQ(names[1], "ietf-day");
-  EXPECT_EQ(names[2], "ietf-plenary");
+  EXPECT_EQ(names[2], "ietf-day-churn");
+  EXPECT_EQ(names[3], "ietf-plenary");
+  EXPECT_EQ(names[4], "ietf-plenary-churn");
   EXPECT_TRUE(ScenarioRegistry::instance().contains("cell"));
   EXPECT_FALSE(ScenarioRegistry::instance().contains("ballroom"));
 }

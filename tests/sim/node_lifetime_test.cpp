@@ -140,6 +140,85 @@ TEST_F(NodeLifetime, ReceiverRemovedAndFreedMidAirIsNotDelivered) {
   EXPECT_EQ(ground_truth_[0].outcome, trace::TxOutcome::kChannelError);
 }
 
+TEST_F(NodeLifetime, QuietRemovalRecyclesLinkIdImmediately) {
+  StubNode keeper(channel_, 1, {0, 0, 0});
+  const std::size_t base_capacity = channel_.link_capacity();
+  // A century of join/leave with a clear medium: every departure hands its
+  // link id straight back, so the id space never outgrows one extra slot.
+  for (int i = 0; i < 100; ++i) {
+    auto visitor = std::make_unique<StubNode>(
+        channel_, static_cast<mac::Addr>(100 + i),
+        phy::Position{1.0 + i * 0.1, 0, 0});
+    EXPECT_EQ(channel_.live_links(), base_capacity + 1);
+    channel_.remove_node(visitor.get());
+    visitor.reset();
+  }
+  EXPECT_EQ(channel_.link_capacity(), base_capacity + 1);
+  EXPECT_EQ(channel_.live_links(), base_capacity);
+}
+
+TEST_F(NodeLifetime, MidAirRemovalDefersRecycleUntilLastReference) {
+  StubNode receiver(channel_, 2, {1, 0, 0});
+  auto sender = std::make_unique<StubNode>(channel_, 1, phy::Position{0, 0, 0});
+  const auto sender_link = sender->link_id();
+
+  const mac::Frame frame = sender->data_to(receiver.addr());
+  const auto airtime = frame.airtime();
+  std::unique_ptr<StubNode> newcomer;
+
+  sim_.at(Microseconds{10},
+          [&, f = frame] { channel_.transmit(sender.get(), f); });
+  sim_.at(Microseconds{10 + airtime.count() / 2}, [&] {
+    channel_.remove_node(sender.get());
+    sender.reset();
+    // The frame still references the departed link: its id must NOT be
+    // handed to a newcomer yet (that would re-aim the in-flight frame's
+    // interference at the newcomer's position).
+    newcomer = std::make_unique<StubNode>(channel_, 3, phy::Position{5, 5, 0});
+    EXPECT_NE(newcomer->link_id(), sender_link);
+  });
+  sim_.run_until(Microseconds{100'000});
+
+  // Frame finished and delivered; the departed id is free now, so the next
+  // joiner reuses it (LIFO) instead of growing the table.
+  EXPECT_EQ(receiver.received_, 1);
+  StubNode late(channel_, 4, {6, 6, 0});
+  EXPECT_EQ(late.link_id(), sender_link);
+}
+
+TEST_F(NodeLifetime, OverlapReferencesAlsoDeferRecycling) {
+  StubNode receiver(channel_, 2, {1, 0, 0});
+  StubNode other(channel_, 3, {2, 0, 0});
+  auto jammer = std::make_unique<StubNode>(channel_, 4, phy::Position{3, 0, 0});
+  const auto jammer_link = jammer->link_id();
+
+  // A long frame overlaps the jammer's short one; the jammer departs after
+  // its own frame ended but while the long frame (whose overlap list still
+  // names the jammer's link) is on the air.
+  const mac::Frame long_frame = other.data_to(receiver.addr(), 1400);
+  sim_.at(Microseconds{10},
+          [&, f = long_frame] { channel_.transmit(&other, f); });
+  sim_.at(Microseconds{20}, [&] {
+    channel_.transmit(jammer.get(), jammer->data_to(receiver.addr(), 40));
+  });
+  const auto jam_end = 20 + jammer->data_to(receiver.addr(), 40).airtime().count();
+  sim_.at(Microseconds{jam_end + 50}, [&] {
+    ASSERT_LT(Microseconds{jam_end + 50},
+              Microseconds{10} + long_frame.airtime());
+    channel_.remove_node(jammer.get());
+    jammer.reset();
+    // Still pinned by the long frame's overlap list.
+    StubNode probe(channel_, 5, {7, 7, 0});
+    EXPECT_NE(probe.link_id(), jammer_link);
+    channel_.remove_node(&probe);
+  });
+  sim_.run_until(Microseconds{100'000});
+
+  // The long frame has landed; the jammer's id is reusable.
+  StubNode late(channel_, 6, {8, 8, 0});
+  EXPECT_EQ(late.link_id(), jammer_link);
+}
+
 TEST_F(NodeLifetime, RemovedSenderFrameStillReachesSniffer) {
   auto sender = std::make_unique<StubNode>(channel_, 1, phy::Position{0, 0, 0});
   StubNode receiver(channel_, 2, {1, 0, 0});
