@@ -80,6 +80,14 @@ void write_json(const std::string& path, const std::vector<Row>& rows) {
     const Row& r = rows[i];
     const double per_iter_wall = r.t.wall_ns / static_cast<double>(r.iterations);
     const double per_iter_cpu = r.t.cpu_ns / static_cast<double>(r.iterations);
+    // Engine-throughput figures of merit (0 for the calibration row): how
+    // many simulated seconds one wall-clock second buys, and how many
+    // capture records flow through the pipeline per wall-clock second.
+    // perf_guard.py treats sim_* / *_per_second keys as higher-is-better.
+    const double wall_s = per_iter_wall / 1e9;
+    const double sim_rate = r.sim_seconds > 0.0 ? r.sim_seconds / wall_s : 0.0;
+    const double rec_rate =
+        r.records > 0 ? static_cast<double>(r.records) / wall_s : 0.0;
     std::fprintf(f,
                  "    {\n"
                  "      \"name\": \"%s\",\n"
@@ -89,11 +97,13 @@ void write_json(const std::string& path, const std::vector<Row>& rows) {
                  "      \"cpu_time\": %.1f,\n"
                  "      \"time_unit\": \"ns\",\n"
                  "      \"sim_seconds\": %.3f,\n"
-                 "      \"records\": %lld\n"
+                 "      \"records\": %lld,\n"
+                 "      \"sim_seconds_per_wall_second\": %.3f,\n"
+                 "      \"records_per_second\": %.1f\n"
                  "    }%s\n",
                  r.name.c_str(), static_cast<long long>(r.iterations),
                  per_iter_wall, per_iter_cpu, r.sim_seconds,
-                 static_cast<long long>(r.records),
+                 static_cast<long long>(r.records), sim_rate, rec_rate,
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -202,8 +212,11 @@ int main(int argc, char** argv) {
       r.records = static_cast<std::int64_t>(session.trace.records.size());
     });
     r.sim_seconds = plenary_duration;
-    std::fprintf(stderr, "E2E_PlenarySession: %.2f s wall, %lld records\n",
-                 r.t.wall_ns / 1e9, static_cast<long long>(r.records));
+    std::fprintf(stderr,
+                 "E2E_PlenarySession: %.2f s wall, %lld records "
+                 "(%.1f sim-s/wall-s)\n",
+                 r.t.wall_ns / 1e9, static_cast<long long>(r.records),
+                 r.sim_seconds / (r.t.wall_ns / 1e9));
     rows.push_back(std::move(r));
   }
 
@@ -226,8 +239,11 @@ int main(int argc, char** argv) {
       r.records = static_cast<std::int64_t>(session.trace.records.size());
     });
     r.sim_seconds = churn_duration;
-    std::fprintf(stderr, "E2E_ChurnSession: %.2f s wall, %lld records\n",
-                 r.t.wall_ns / 1e9, static_cast<long long>(r.records));
+    std::fprintf(stderr,
+                 "E2E_ChurnSession: %.2f s wall, %lld records "
+                 "(%.1f sim-s/wall-s)\n",
+                 r.t.wall_ns / 1e9, static_cast<long long>(r.records),
+                 r.sim_seconds / (r.t.wall_ns / 1e9));
     rows.push_back(std::move(r));
   }
 

@@ -16,7 +16,17 @@ Raw nanosecond baselines are machine-specific, so every benchmark is first
 normalized by its own file's BM_RngNext time (a pure-ALU benchmark that
 scales with single-core speed; both bench binaries emit it).  A benchmark
 regresses when its normalized time exceeds the baseline's by more than
---threshold percent (default 25).  New benchmarks missing from the baseline
+--threshold percent (default 25).
+
+Rows may additionally carry throughput figures of merit (the e2e rows emit
+sim_seconds_per_wall_second and records_per_second); those are
+higher-is-better, get the mirror-image normalization (a slower machine is
+forgiven a proportionally lower rate), and regress when the normalized rate
+falls below the baseline's by more than the same threshold.  This guards the
+engine's two headline numbers — how much simulated time and how many capture
+records one wall-clock second buys — directly, not just via per-row ns.
+
+New benchmarks missing from the baseline
 are reported but never fail the run; refresh the baselines with:
 
     ./build/bench_micro_perf --benchmark_format=json \
@@ -29,22 +39,29 @@ import sys
 
 REFERENCE = "BM_RngNext"
 UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+# Higher-is-better per-row keys (emitted by bench_e2e_session).
+THROUGHPUT_KEYS = ("sim_seconds_per_wall_second", "records_per_second")
 
 
 def load(path):
+    """Returns ({name: cpu_ns}, {name: {throughput_key: rate}})."""
     with open(path) as f:
         data = json.load(f)
-    out = {}
+    times, rates = {}, {}
     for b in data.get("benchmarks", []):
         if b.get("run_type", "iteration") != "iteration":
             continue
-        out[b["name"]] = b["cpu_time"] * UNIT_NS[b.get("time_unit", "ns")]
-    return out
+        times[b["name"]] = b["cpu_time"] * UNIT_NS[b.get("time_unit", "ns")]
+        row_rates = {k: b[k] for k in THROUGHPUT_KEYS if b.get(k, 0) > 0}
+        if row_rates:
+            rates[b["name"]] = row_rates
+    return times, rates
 
 
 def guard_pair(current_path, baseline_path, threshold):
     """Returns the list of regressed benchmark names for one pair."""
-    current, baseline = load(current_path), load(baseline_path)
+    current, cur_rates = load(current_path)
+    baseline, base_rates = load(baseline_path)
     for name, data in ((current_path, current), (baseline_path, baseline)):
         if REFERENCE not in data:
             sys.exit(f"perf_guard: {name} lacks {REFERENCE}; cannot normalize")
@@ -68,6 +85,22 @@ def guard_pair(current_path, baseline_path, threshold):
             failures.append(name)
         print(f"  {verdict:10s} {name}: normalized x{ratio:.3f} "
               f"({current[name]:.0f} ns vs baseline {baseline[name]:.0f} ns)")
+
+        # Throughput keys: normalized rate = rate * ref-ns (a slower machine
+        # is expected to produce a proportionally lower rate); regression is
+        # the mirror image, falling short of the baseline's normalized rate.
+        for key in THROUGHPUT_KEYS:
+            cur = cur_rates.get(name, {}).get(key)
+            base = base_rates.get(name, {}).get(key)
+            if cur is None or base is None:
+                continue
+            rratio = (cur * cur_ref) / (base * base_ref)
+            verdict = "ok"
+            if rratio < 1.0 / (1.0 + threshold / 100.0):
+                verdict = "REGRESSION"
+                failures.append(f"{name}/{key}")
+            print(f"  {verdict:10s} {name}/{key}: normalized x{rratio:.3f} "
+                  f"({cur:.1f}/s vs baseline {base:.1f}/s)")
 
     for name in sorted(set(baseline) - set(current) - {REFERENCE}):
         print(f"  GONE  {name}: in baseline but not in this run")

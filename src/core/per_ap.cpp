@@ -17,13 +17,21 @@ bool is_data_like(mac::FrameType t) {
 
 std::vector<ApActivity> ap_activity(const trace::Trace& trace) {
   std::unordered_map<mac::Addr, ApActivity> acc;
-  std::unordered_set<mac::Addr> bssids;
-  std::unordered_map<mac::Addr, mac::Addr> client_bssid;
+  // mac::Addr is 16-bit, so the per-station lookups — one per record on a
+  // multi-hundred-thousand-record conference capture — use flat tables
+  // instead of hash maps.  Only sums and last-writer-wins assignments read
+  // them, so the change cannot reorder any output.  (acc stays a hash map:
+  // its iteration order feeds the frames-descending sort below, where it
+  // breaks ties.)
+  std::vector<std::uint8_t> is_bssid(std::size_t{mac::kBroadcast} + 1, 0);
+  std::vector<mac::Addr> client_bssid(std::size_t{mac::kBroadcast} + 1,
+                                      mac::kNoAddr);
+  std::vector<mac::Addr> clients;  // addresses with client_bssid set
 
   for (const auto& r : trace.records) {
     if ((is_data_like(r.type) || r.type == mac::FrameType::kBeacon) &&
         r.bssid != mac::kNoAddr) {
-      bssids.insert(r.bssid);
+      is_bssid[r.bssid] = 1;
     }
   }
 
@@ -38,19 +46,22 @@ std::vector<ApActivity> ap_activity(const trace::Trace& trace) {
       } else {
         ++ap.data_frames;
       }
-      if (!bssids.count(r.src)) client_bssid[r.src] = r.bssid;
-      if (r.dst != mac::kBroadcast && !bssids.count(r.dst)) {
+      if (!is_bssid[r.src]) {
+        if (client_bssid[r.src] == mac::kNoAddr) clients.push_back(r.src);
+        client_bssid[r.src] = r.bssid;
+      }
+      if (r.dst != mac::kBroadcast && !is_bssid[r.dst]) {
+        if (client_bssid[r.dst] == mac::kNoAddr) clients.push_back(r.dst);
         client_bssid[r.dst] = r.bssid;
       }
     } else {
       // Control frames carry no BSSID: attribute through the addressed
       // station's known AP.
       mac::Addr bssid = mac::kNoAddr;
-      if (bssids.count(r.dst)) {
+      if (is_bssid[r.dst]) {
         bssid = r.dst;
       } else {
-        const auto it = client_bssid.find(r.dst);
-        if (it != client_bssid.end()) bssid = it->second;
+        bssid = client_bssid[r.dst];
       }
       if (bssid == mac::kNoAddr) continue;
       ApActivity& ap = acc[bssid];
@@ -63,9 +74,8 @@ std::vector<ApActivity> ap_activity(const trace::Trace& trace) {
   // Last-association-wins client attribution: client_bssid holds each
   // station's most recent BSSID, so a roaming client counts once, at the AP
   // it ended on, and mid-capture arrivals simply appear when first heard.
-  for (const auto& [client, bssid] : client_bssid) {
-    (void)client;
-    ++acc[bssid].clients;
+  for (const mac::Addr client : clients) {
+    ++acc[client_bssid[client]].clients;
   }
 
   std::vector<ApActivity> out;

@@ -40,6 +40,7 @@ RunOutput run_session_scenario(const RunSpec& run, workload::SessionKind kind,
   cfg.rtscts_fraction = run.rtscts_fraction;
   cfg.rate = run.cell.rate;
   cfg.timing = run.cell.timing;
+  cfg.scalar_reception = run.cell.scalar_reception;
   if (churn) {
     cfg.churn_turnover_per_min = run.churn_rate > 0.0 ? run.churn_rate : 1.0;
   }

@@ -39,12 +39,67 @@ double bit_error_rate(Rate rate, double snr_db) {
   return std::clamp(ber_linear(rate, snr), 0.0, 0.5);
 }
 
+namespace {
+
+// Above some SNR the BER is so small that `1.0 - ber` rounds to exactly 1.0,
+// and since pow(1.0, n) == 1.0 for every finite n the full product collapses
+// to exactly 1.0 regardless of frame length.  Bisect for that knee per rate
+// (jointly with the 1 Mbps PLCP term, which frame_success_probability always
+// folds in), then pad by half a dB: the BER decays ~10x per couple of dB, so
+// at the padded threshold it sits orders of magnitude below the rounding
+// boundary and the shortcut can never disagree with the direct computation.
+double saturation_knee(Rate rate) {
+  const auto saturated = [rate](double snr_db) {
+    return 1.0 - bit_error_rate(Rate::kR1, snr_db) == 1.0 &&
+           1.0 - bit_error_rate(rate, snr_db) == 1.0;
+  };
+  double lo = -10.0, hi = 60.0;  // saturated(60 dB) holds for all four rates
+  for (int i = 0; i < 80; ++i) {
+    const double mid = lo + (hi - lo) / 2.0;
+    if (saturated(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi + 0.5;
+}
+
+}  // namespace
+
+double saturation_snr_db(Rate rate) {
+  static const std::array<double, kNumRates> knees = [] {
+    std::array<double, kNumRates> t{};
+    for (Rate r : kAllRates) t[rate_index(r)] = saturation_knee(r);
+    return t;
+  }();
+  return knees[rate_index(rate)];
+}
+
+namespace {
+
+// pow(1.0, y) == 1.0 exactly for any finite y; skipping the call keeps the
+// result bit-identical while sparing a libm trip whenever the BER has
+// already rounded out of the base (the PLCP term saturates well before the
+// CCK body rates do, so this fires constantly in the mid-SNR band).
+double pow_of_one_minus_ber(double ber, double exponent) {
+  const double base = 1.0 - ber;
+  return base == 1.0 ? 1.0 : std::pow(base, exponent);
+}
+
+}  // namespace
+
 double frame_success_probability(Rate rate, std::uint32_t bytes, double snr_db) {
+  if (snr_db >= saturation_snr_db(rate)) return 1.0;
+  // Both BER terms share the same dB->linear conversion; computing it once
+  // yields the identical double bit_error_rate would have produced twice.
+  const double snr = std::pow(10.0, snr_db / 10.0);
+  const double ber1 = std::clamp(ber_linear(Rate::kR1, snr), 0.0, 0.5);
+  const double ber_body =
+      rate == Rate::kR1 ? ber1 : std::clamp(ber_linear(rate, snr), 0.0, 0.5);
   // PLCP preamble+header: 192 bits at 1 Mbps.
-  const double plcp_ok =
-      std::pow(1.0 - bit_error_rate(Rate::kR1, snr_db), 192.0);
-  const double body_ok =
-      std::pow(1.0 - bit_error_rate(rate, snr_db), 8.0 * bytes);
+  const double plcp_ok = pow_of_one_minus_ber(ber1, 192.0);
+  const double body_ok = pow_of_one_minus_ber(ber_body, 8.0 * bytes);
   return plcp_ok * body_ok;
 }
 

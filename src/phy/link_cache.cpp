@@ -1,39 +1,55 @@
 #include "phy/link_cache.hpp"
 
 #include <cassert>
+#include <cstring>
 
 namespace wlan::phy {
 
+void LinkBudgetCache::grow() {
+  const std::size_t new_stride = stride_ == 0 ? 16 : stride_ * 2;
+  std::vector<double> wide(new_stride * new_stride);
+  // Re-home each existing row to the wider stride.  Stale columns of freed
+  // ids ride along — they are unreadable until reuse rewrites them.
+  for (std::size_t r = 0; r < positions_.size(); ++r) {
+    std::memcpy(wide.data() + r * new_stride, table_.data() + r * stride_,
+                stride_ * sizeof(double));
+  }
+  table_ = std::move(wide);
+  stride_ = new_stride;
+}
+
+void LinkBudgetCache::fill_pairs(LinkId id, const Position& position) {
+  // Same orientation as the historic triangle fill — prop(new, other) — and
+  // the model is bit-exactly symmetric, so both mirror cells get the double
+  // every earlier layout produced.  Freed ids' positions are garbage-in-
+  // garbage-out: computed but unreadable until their row is rewritten.
+  const std::size_t n = positions_.size();
+  double* const row = table_.data() + std::size_t{id} * stride_;
+  for (LinkId other = 0; other < static_cast<LinkId>(n); ++other) {
+    const double v = prop_->rx_power_dbm(position, positions_[other]);
+    row[other] = v;
+    table_[std::size_t{other} * stride_ + id] = v;
+  }
+}
+
 LinkBudgetCache::LinkId LinkBudgetCache::add_endpoint(const Position& position) {
+  ++version_;
   if (!free_ids_.empty()) {
-    // Recycle the most recently freed id: overwrite its row in place.  The
-    // pair values against other freed ids are garbage-in-garbage-out — no
-    // live id can read them, and they are rewritten before reuse.
     const LinkId id = free_ids_.back();
     free_ids_.pop_back();
     positions_[id] = position;
-    for (LinkId other = 0; other < static_cast<LinkId>(positions_.size());
-         ++other) {
-      table_[index(id, other)] = prop_->rx_power_dbm(position, positions_[other]);
-    }
+    fill_pairs(id, position);
     return id;
   }
   const auto id = static_cast<LinkId>(positions_.size());
+  if (positions_.size() == stride_) grow();
   positions_.push_back(position);
-  // No reserve: an exact-size reserve per endpoint would reallocate the
-  // O(N^2) triangle on every registration (O(N^3) copying at scenario
-  // setup); push_back's geometric growth keeps the total linear in the
-  // final table size.
-  for (LinkId other = 0; other < id; ++other) {
-    table_.push_back(prop_->rx_power_dbm(position, positions_[other]));
-  }
-  // Self link: distance clamps to 1 m in the propagation model; never used
-  // by the channel (senders skip themselves) but keeps indexing dense.
-  table_.push_back(prop_->rx_power_dbm(position, position));
+  fill_pairs(id, position);
   return id;
 }
 
 void LinkBudgetCache::remove_endpoint(LinkId id) {
+  ++version_;
   assert(id < positions_.size());
 #ifndef NDEBUG
   for (const LinkId f : free_ids_) assert(f != id && "double remove_endpoint");

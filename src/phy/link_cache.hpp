@@ -9,25 +9,29 @@
 // draw every time.  This table pays that cost once per pair, at endpoint
 // registration, and turns SINR evaluation into lookups plus one dBm->mW sum.
 //
-// The table is the lower triangle of the symmetric pair matrix, stored
-// row-major — appending endpoint N adds exactly its N+1 new pairs at the
-// tail, so registration never reshuffles existing entries.  Values are the
-// *identical* doubles Propagation::rx_power_dbm would return (path loss,
+// Layout: the full square matrix, row-major with a power-of-two stride, so
+// that row(from) is a contiguous rx-power vector over every receiver id.
+// The channel's batched reception pass walks these rows linearly (gathers by
+// receiver id), which is what makes one-pass SINR evaluation over all
+// concurrent receivers auto-vectorizable; a triangle layout would turn each
+// access into a branch on (hi, lo) order.  Both mirror cells hold the
+// *identical* double Propagation::rx_power_dbm would return (path loss,
 // floor penalty and the frozen shadowing draw are all symmetric in the
 // endpoint pair, bit-exactly), which keeps cached simulations byte-identical
-// to uncached ones.
+// to uncached ones.  Growth re-homes rows to the wider stride but never
+// changes a stored value.
 //
 // Id recycling: remove_endpoint returns an id to a free list and the next
-// add_endpoint reuses it (overwriting the freed row's pair entries in
-// place), so the id space — and with it the triangle's memory and the O(id)
-// registration cost — is bounded by the *peak concurrent* endpoint count,
-// not the lifetime total.  Churn-heavy scenarios (stations joining, leaving
-// and roaming for hours) depend on this.  The caller owns the safety
-// invariant: an id may only be removed once nothing references it anymore —
+// add_endpoint reuses it (overwriting the freed row and column in place), so
+// the id space — and with it the matrix's memory and the O(id) registration
+// cost — is bounded by the *peak concurrent* endpoint count, not the
+// lifetime total.  Churn-heavy scenarios (stations joining, leaving and
+// roaming for hours) depend on this.  The caller owns the safety invariant:
+// an id may only be removed once nothing references it anymore —
 // sim::Channel defers removal until no in-flight frame names the link (see
-// Channel::release_link_refs).  Entries against freed ids go stale in the
-// table but are unreadable by construction: no live id maps to them until
-// reuse rewrites them.
+// Channel::release_link).  Entries against freed ids go stale in the table
+// but are unreadable by construction: no live id maps to them until reuse
+// rewrites them.
 #pragma once
 
 #include <cstdint>
@@ -56,7 +60,14 @@ class LinkBudgetCache {
   /// Received power in dBm between two registered endpoints, excluding any
   /// per-node transmit power offset (the caller folds that in).
   [[nodiscard]] double rx_power_dbm(LinkId from, LinkId to) const {
-    return table_[index(from, to)];
+    return table_[std::size_t{from} * stride_ + to];
+  }
+
+  /// Contiguous rx-power row of a sender: row(from)[to] == rx_power_dbm(
+  /// from, to) for every issued id `to`.  Valid until the next add_endpoint
+  /// (growth may re-home rows).
+  [[nodiscard]] const double* row(LinkId from) const {
+    return table_.data() + std::size_t{from} * stride_;
   }
 
   [[nodiscard]] const Position& position(LinkId id) const {
@@ -67,23 +78,31 @@ class LinkBudgetCache {
   [[nodiscard]] std::size_t endpoints() const {
     return positions_.size() - free_ids_.size();
   }
+  /// Monotone mutation counter, bumped by every add/remove_endpoint.
+  /// Consumers memoizing data derived from the table (sim::Channel's
+  /// broadcast plans) key on it: any membership change, roam or id reuse
+  /// makes every previously derived value unverifiable, and a version
+  /// mismatch says so without inspecting what changed.
+  [[nodiscard]] std::uint64_t version() const { return version_; }
   /// High-water mark of the id space — the quantity that bounds the
-  /// triangle's memory and per-registration cost.  With recycling this
+  /// matrix's memory and per-registration cost.  With recycling this
   /// tracks the peak *concurrent* endpoint count; the churn stress test
   /// pins that bound.
   [[nodiscard]] std::size_t id_capacity() const { return positions_.size(); }
 
  private:
-  [[nodiscard]] static std::size_t index(LinkId a, LinkId b) {
-    const std::size_t hi = a > b ? a : b;
-    const std::size_t lo = a > b ? b : a;
-    return hi * (hi + 1) / 2 + lo;
-  }
+  /// Writes row and column `id` (and the self cell) from the propagation
+  /// model, mirroring each value into both (id, other) and (other, id).
+  void fill_pairs(LinkId id, const Position& position);
+  /// Doubles the stride and re-homes existing rows (values unchanged).
+  void grow();
 
   const Propagation* prop_;
   std::vector<Position> positions_;
-  std::vector<double> table_;    ///< lower triangle, row-major
+  std::vector<double> table_;    ///< square matrix, row-major, stride_ wide
+  std::size_t stride_ = 0;       ///< power-of-two row width >= id_capacity()
   std::vector<LinkId> free_ids_; ///< removed ids awaiting reuse (LIFO)
+  std::uint64_t version_ = 0;    ///< see version()
 };
 
 }  // namespace wlan::phy

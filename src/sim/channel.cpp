@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 
 #include "phy/error_model.hpp"
 #include "sim/sniffer.hpp"
@@ -14,8 +15,26 @@ Channel::Channel(Simulator& sim, const phy::Propagation& prop,
                  std::uint64_t seed)
     : sim_(sim), prop_(prop), timing_(timing), number_(number),
       rng_(seed ^ (0xC0FFEEULL + number)), links_(prop),
+      // Start the success memo small (a unit-test cell touches a few hundred
+      // triples) but let a big session grow it to 2^18; size never changes
+      // returned values (see FrameSuccessCache).
+      frame_success_(12, 14),
       noise_mw_(phy::dbm_to_mw(prop.config().noise_floor_dbm)),
       noise_db_roundtrip_(phy::mw_to_dbm(noise_mw_)) {}
+
+void Channel::FlightTable::push_slot() {
+  from_link.emplace_back(phy::LinkBudgetCache::kNoLink);
+  power_offset_db.emplace_back(0.0);
+  start.emplace_back(0);
+  end.emplace_back(0);
+  log_index.emplace_back(0);
+  snapshot.emplace_back(nullptr);
+  snapshot_len.emplace_back(0);
+  on_air_pos.emplace_back(0);
+  frame.emplace_back();
+  from.emplace_back(nullptr);
+  on_air_done.emplace_back();
+}
 
 void Channel::track_link(LinkId id) {
   if (link_refs_.size() <= id) {
@@ -41,6 +60,8 @@ void Channel::add_node(MacEntity* node) {
   node->link_id_ = links_.add_endpoint(node->position());
   track_link(node->link_id_);
   nodes_.push_back(node);
+  node_links_.push_back(node->link_id_);
+  ++nodes_epoch_;
   by_addr_.insert_or_assign(node->addr(), node);
 }
 
@@ -52,7 +73,15 @@ void Channel::remove_node(MacEntity* node) {
   cancel_access(node);
   const LinkId old_link = node->link_id_;
   node->link_id_ = phy::LinkBudgetCache::kNoLink;  // no longer on a channel
-  nodes_.erase(std::remove(nodes_.begin(), nodes_.end(), node), nodes_.end());
+  for (std::size_t i = 0; i < nodes_.size();) {
+    if (nodes_[i] == node) {
+      nodes_.erase(nodes_.begin() + static_cast<std::ptrdiff_t>(i));
+      node_links_.erase(node_links_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  ++nodes_epoch_;
   std::vector<mac::Addr> owned;
   by_addr_.for_each([&](mac::Addr addr, MacEntity* owner) {
     if (owner == node) owned.push_back(addr);
@@ -63,16 +92,15 @@ void Channel::remove_node(MacEntity* node) {
   // evaluated from the link-budget cache (from_link stays valid), so the
   // frame itself still finishes, interferes and reaches sniffers.
   for (const std::uint32_t slot : on_air_) {
-    Active& a = frame_pool_[slot];
-    if (a.from == node) {
-      a.from = nullptr;
-      a.on_air_done = nullptr;
+    if (flight_.from[slot] == node) {
+      flight_.from[slot] = nullptr;
+      flight_.on_air_done[slot] = nullptr;
     }
   }
   // Reclaim the link id.  An in-flight frame referencing the link (as its
-  // sender or in an overlap list) defers the reclaim to the last
-  // release_link — reusing the id earlier would silently re-aim a dead
-  // frame's interference at a newcomer's position.
+  // sender or in an overlap snapshot / tx-log span) defers the reclaim to
+  // the last release_link — reusing the id earlier would silently re-aim a
+  // dead frame's interference at a newcomer's position.
   if (old_link != phy::LinkBudgetCache::kNoLink) {
     if (link_refs_[old_link] == 0) {
       links_.remove_endpoint(old_link);
@@ -141,36 +169,49 @@ void Channel::transmit(MacEntity* from, const mac::Frame& frame,
   const bool was_idle = on_air_.empty();
   std::uint32_t slot;
   if (free_frames_.empty()) {
-    slot = static_cast<std::uint32_t>(frame_pool_.size());
-    frame_pool_.emplace_back();
+    slot = static_cast<std::uint32_t>(flight_.size());
+    flight_.push_slot();
   } else {
     slot = free_frames_.back();
     free_frames_.pop_back();
   }
-  Active& a = frame_pool_[slot];
-  a.frame = frame;
+  flight_.frame[slot] = frame;
   // Deterministic per-run frame ids when the network shares a counter.
-  if (frame_counter_) a.frame.id = ++*frame_counter_;
-  a.from = from;
-  a.from_link = from->link_id_;
-  a.power_offset_db = from->tx_power_offset_db();
-  a.start = sim_.now();
-  a.end = sim_.now() + frame.airtime();
-  a.on_air_done = std::move(on_air_done);
-  a.overlaps.clear();  // recycled slot: keep the buffer, drop old entries
-  // Mutual overlap bookkeeping with everything already on air.  Every link
-  // id stored into an Active (the sender's own plus each overlap entry)
-  // takes an in-flight reference that pins the id against recycling until
-  // the holding frame leaves the air.
-  ++link_refs_[a.from_link];
-  for (const std::uint32_t other_slot : on_air_) {
-    Active& other = frame_pool_[other_slot];
-    other.overlaps.push_back({a.from_link, a.power_offset_db});
-    ++link_refs_[a.from_link];
-    a.overlaps.push_back({other.from_link, other.power_offset_db});
-    ++link_refs_[other.from_link];
+  if (frame_counter_) flight_.frame[slot].id = ++*frame_counter_;
+  const LinkId own_link = from->link_id_;
+  const double own_offset = from->tx_power_offset_db();
+  flight_.from[slot] = from;
+  flight_.from_link[slot] = own_link;
+  flight_.power_offset_db[slot] = own_offset;
+  flight_.start[slot] = sim_.now();
+  flight_.end[slot] = sim_.now() + frame.airtime();
+  flight_.on_air_done[slot] = std::move(on_air_done);
+  // Overlap bookkeeping with everything already on air, in two halves:
+  // frames already in flight are snapshotted (arena span, on_air_ order —
+  // the same order the old per-frame overlap vectors accumulated), and our
+  // own record goes on the shared tx log so that in-flight frames pick us
+  // up via their log span at end-of-air.  Every link id a frame will read
+  // at its end — its own, each snapshot entry, each log-span entry — takes
+  // an in-flight reference now, pinning the id against recycling.
+  ++link_refs_[own_link];
+  const auto n_active = static_cast<std::uint32_t>(on_air_.size());
+  Interferer* snap = nullptr;
+  if (n_active != 0) {
+    snap = arena_.alloc_array<Interferer>(n_active);
+    ++snapshot_allocs_;
+    for (std::uint32_t i = 0; i < n_active; ++i) {
+      const std::uint32_t other = on_air_[i];
+      const LinkId other_link = flight_.from_link[other];
+      snap[i] = Interferer{other_link, flight_.power_offset_db[other]};
+      ++link_refs_[other_link];  // we read their record at our end-of-air
+      ++link_refs_[own_link];    // they read ours via their log span
+    }
   }
-  a.on_air_pos = static_cast<std::uint32_t>(on_air_.size());
+  flight_.snapshot[slot] = snap;
+  flight_.snapshot_len[slot] = n_active;
+  flight_.log_index[slot] = static_cast<std::uint32_t>(tx_log_.size());
+  tx_log_.push_back(Interferer{own_link, own_offset});
+  flight_.on_air_pos[slot] = static_cast<std::uint32_t>(on_air_.size());
   on_air_.push_back(slot);
   ++tx_count_;
 
@@ -183,8 +224,8 @@ void Channel::transmit(MacEntity* from, const mac::Frame& frame,
 
   // Capture the slot (O(1) end-of-air lookup) plus the queued copy's frame
   // id as a cross-check against slot recycling bugs.
-  const std::uint64_t id = a.frame.id;
-  sim_.at(a.end, [this, slot, id] { on_transmission_end(slot, id); });
+  const std::uint64_t id = flight_.frame[slot].id;
+  sim_.at(flight_.end[slot], [this, slot, id] { on_transmission_end(slot, id); });
 }
 
 void Channel::consume_elapsed_slots(Microseconds busy_start) {
@@ -201,60 +242,96 @@ void Channel::consume_elapsed_slots(Microseconds busy_start) {
 }
 
 void Channel::on_transmission_end(std::uint32_t slot, std::uint64_t frame_id) {
-  // The finished frame cannot be processed in the pool slot (the slot is
-  // recycled below and a reentrant transmit may claim it mid-callback), and
-  // moving it out would steal the slot's overlaps buffer — reallocating on
-  // every overlapped frame.  Swapping with a scratch entry keeps both safe:
-  // the slot inherits the scratch's previously-grown buffer.
-  using std::swap;
-  swap(done_scratch_, frame_pool_[slot]);
-  Active& done = done_scratch_;
-  assert(done.frame.id == frame_id);
+  // Copy the finished frame's fields out of the pool before recycling the
+  // slot (a reentrant transmit may claim it mid-callback).  Unlike the old
+  // AoS pool there is no overlap buffer to rescue: the snapshot span lives
+  // on the arena and the log span in tx_log_, both stable until the idle
+  // reset below.
+  assert(flight_.frame[slot].id == frame_id);
   (void)frame_id;
+  const mac::Frame frame = flight_.frame[slot];
+  Completed done;
+  done.frame = &frame;
+  done.from_link = flight_.from_link[slot];
+  done.power_offset_db = flight_.power_offset_db[slot];
+  done.start = flight_.start[slot];
+  done.snapshot = flight_.snapshot[slot];
+  done.snapshot_len = flight_.snapshot_len[slot];
+  done.log_begin = flight_.log_index[slot] + 1;
+  // Every record appended while we were on air overlapped us; a record a
+  // reentrant transmit appends during our callbacks is after this instant
+  // and does not (the scalar path agrees: we are out of on_air_ by then).
+  done.log_end = static_cast<std::uint32_t>(tx_log_.size());
+  EventQueue::Callback done_cb = std::move(flight_.on_air_done[slot]);
+  flight_.on_air_done[slot] = nullptr;
+
   // Unlink from the live list (swap-erase, O(1)) and recycle the slot before
   // any callback runs.
-  const std::uint32_t pos = done.on_air_pos;
+  const std::uint32_t pos = flight_.on_air_pos[slot];
   const std::uint32_t last = on_air_.back();
   on_air_[pos] = last;
-  frame_pool_[last].on_air_pos = pos;
+  flight_.on_air_pos[last] = pos;
   on_air_.pop_back();
   free_frames_.push_back(slot);
 
   // Sender bookkeeping first (start timeouts), then receptions, then medium
   // state — so a SIFS response scheduled during reception still sees the
   // correct idle anchor.
-  if (done.on_air_done) {
-    done.on_air_done();
-    done.on_air_done = nullptr;  // release captures; next swap would anyway
+  if (done_cb) done_cb();
+  if (scalar_reception_) {
+    evaluate_receptions_scalar(done);
+  } else {
+    evaluate_receptions_batched(done);
   }
-  evaluate_receptions(done);
   // The frame is fully processed: drop its link references.  A link whose
   // owner departed mid-air is recycled here, on the last holder's release.
   release_link(done.from_link);
-  for (const Interferer& i : done.overlaps) release_link(i.link);
-  if (on_air_.empty()) medium_went_idle();
+  for (std::uint32_t i = 0; i < done.snapshot_len; ++i) {
+    release_link(done.snapshot[i].link);
+  }
+  for (std::uint32_t k = done.log_begin; k < done.log_end; ++k) {
+    release_link(tx_log_[k].link);
+  }
+  if (on_air_.empty()) {
+    // Busy burst over: nothing references the snapshots or the log anymore.
+    // Reclaim both wholesale — this is the "arena resets at end-of-air"
+    // lifetime rule, and under DCF it triggers between almost every
+    // exchange, so the arena never grows past one burst's worth.
+    tx_log_.clear();
+    arena_.reset();
+    medium_went_idle();
+  }
 }
 
-double Channel::sinr_db_at(const Active& a, LinkId rx) const {
+double Channel::sinr_db_at(const Completed& done, LinkId rx) const {
   const double signal_dbm =
-      links_.rx_power_dbm(a.from_link, rx) + a.power_offset_db;
-  if (a.overlaps.empty()) {
+      links_.rx_power_dbm(done.from_link, rx) + done.power_offset_db;
+  if (!done.has_overlaps()) {
     // No interference: denom == noise floor.  noise_db_roundtrip_ is the
     // precomputed mw_to_dbm(dbm_to_mw(floor)) — the exact double the general
     // path below would produce — so skipping its pow/log10 pair per frame
     // leaves every SINR bit-identical.
     return signal_dbm - noise_db_roundtrip_;
   }
+  // Snapshot entries first, then the log span: the same accumulation order
+  // as the old per-frame overlap vector (on-air set at transmit, then later
+  // transmitters in transmit order), so every double matches bit for bit.
   double denom_mw = noise_mw_;
-  for (const Interferer& i : a.overlaps) {
-    denom_mw +=
-        phy::dbm_to_mw(links_.rx_power_dbm(i.link, rx) + i.power_offset_db);
+  for (std::uint32_t i = 0; i < done.snapshot_len; ++i) {
+    const Interferer& in = done.snapshot[i];
+    denom_mw += dbm_to_mw_memo_(links_.rx_power_dbm(in.link, rx) +
+                                in.power_offset_db);
   }
-  return signal_dbm - phy::mw_to_dbm(denom_mw);
+  for (std::uint32_t k = done.log_begin; k < done.log_end; ++k) {
+    const Interferer& in = tx_log_[k];
+    denom_mw += dbm_to_mw_memo_(links_.rx_power_dbm(in.link, rx) +
+                                in.power_offset_db);
+  }
+  return signal_dbm - mw_to_dbm_memo_(denom_mw);
 }
 
-void Channel::evaluate_receptions(const Active& done) {
-  const mac::Frame& f = done.frame;
+void Channel::evaluate_receptions_scalar(const Completed& done) {
+  const mac::Frame& f = *done.frame;
 
   // Range check with the sender's power offset folded in.
   auto receivable = [&](LinkId rx) {
@@ -291,7 +368,7 @@ void Channel::evaluate_receptions(const Active& done) {
       }
       if (delivered) {
         outcome = trace::TxOutcome::kDelivered;
-      } else if (!done.overlaps.empty()) {
+      } else if (done.has_overlaps()) {
         outcome = trace::TxOutcome::kCollision;
         ++collision_count_;
       }
@@ -307,12 +384,239 @@ void Channel::evaluate_receptions(const Active& done) {
   }
 }
 
-void Channel::record_ground_truth(const Active& done,
+void Channel::evaluate_receptions_batched(const Completed& done) {
+  const mac::Frame& f = *done.frame;
+  if (f.dst == mac::kBroadcast && !done.has_overlaps()) {
+    // The by-far-hottest broadcast shape (beacons on a quiet medium) goes
+    // through the sender's memoized plan instead of re-gathering.
+    run_broadcast_plan(done);
+    return;
+  }
+  const double offset = done.power_offset_db;
+  const double min_rx_dbm = prop_.config().min_rx_dbm;
+  const double* const srow = links_.row(done.from_link);
+  const std::uint32_t bytes = f.size_bytes();
+
+  // Scratch comes off the arena and is rewound on exit — unless a receiver
+  // callback reentrantly transmitted, in which case its overlap snapshot
+  // sits above our mark and the scratch is left for the idle reset instead.
+  const util::Arena::Marker scratch_mark = arena_.mark();
+  const std::uint64_t snaps_before = snapshot_allocs_;
+
+  // Candidate receivers: delivery targets first — for broadcast the
+  // receivable nodes in nodes_ order, so the channel RNG draws in exactly
+  // the scalar path's sequence — then every sniffer (a sniffer gets a SINR
+  // even out of range; its observe() counts the miss).
+  const std::size_t max_cand =
+      (f.dst == mac::kBroadcast ? nodes_.size() : 1) + sniffers_.size();
+  LinkId* cand_link = arena_.alloc_array<LinkId>(max_cand);
+  double* sig = arena_.alloc_array<double>(max_cand);
+  double* sinr = arena_.alloc_array<double>(max_cand);
+  MacEntity** cand_node = arena_.alloc_array<MacEntity*>(max_cand);
+  std::size_t n = 0;
+
+  MacEntity* unicast_rx = nullptr;
+  if (f.dst == mac::kBroadcast) {
+    const LinkId* const nl = node_links_.data();
+    const std::size_t n_nodes = nodes_.size();
+    for (std::size_t i = 0; i < n_nodes; ++i) {
+      const LinkId l = nl[i];
+      const double s = srow[l] + offset;
+      // Keep the scalar comparison orientation (signal vs threshold, offset
+      // folded into the signal) so the receivable set matches bit for bit.
+      if (l != done.from_link && s >= min_rx_dbm) {
+        cand_link[n] = l;
+        sig[n] = s;
+        cand_node[n] = nodes_[i];
+        ++n;
+      }
+    }
+  } else {
+    MacEntity* const* it = by_addr_.find(f.dst);
+    MacEntity* rx = it == nullptr ? nullptr : *it;
+    if (rx && rx->link_id_ != done.from_link) {
+      unicast_rx = rx;
+      const LinkId l = rx->link_id_;
+      const double s = srow[l] + offset;
+      if (s >= min_rx_dbm) {
+        cand_link[n] = l;
+        sig[n] = s;
+        cand_node[n] = rx;
+        ++n;
+      }
+    }
+  }
+  const std::size_t deliver_end = n;  // candidates that draw delivery RNG
+  for (const SnifferRef& s : sniffers_) {
+    cand_link[n] = s.link;
+    sig[n] = srow[s.link] + offset;
+    cand_node[n] = nullptr;
+    ++n;
+  }
+
+  // SINR for every candidate in one pass: per receiver the accumulation
+  // order (noise, snapshot entries, log span) is exactly sinr_db_at's, so
+  // the doubles are bit-identical — the loops are merely interchanged to
+  // walk each interferer's contiguous rx-power row across all receivers.
+  if (!done.has_overlaps()) {
+    for (std::size_t i = 0; i < n; ++i) sinr[i] = sig[i] - noise_db_roundtrip_;
+  } else {
+    double* denom_mw = arena_.alloc_array<double>(n);
+    for (std::size_t i = 0; i < n; ++i) denom_mw[i] = noise_mw_;
+    auto accumulate = [&](const Interferer& in) {
+      const double* const orow = links_.row(in.link);
+      const double w = in.power_offset_db;
+      for (std::size_t i = 0; i < n; ++i) {
+        denom_mw[i] += dbm_to_mw_memo_(orow[cand_link[i]] + w);
+      }
+    };
+    for (std::uint32_t i = 0; i < done.snapshot_len; ++i) {
+      accumulate(done.snapshot[i]);
+    }
+    for (std::uint32_t k = done.log_begin; k < done.log_end; ++k) {
+      accumulate(tx_log_[k]);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      sinr[i] = sig[i] - mw_to_dbm_memo_(denom_mw[i]);
+    }
+  }
+
+  // Delivery.  RNG draws happen in candidate order — the scalar path's
+  // order — and only for the delivery candidates, never sniffers.
+  if (f.dst == mac::kBroadcast) {
+    const std::uint64_t epoch = nodes_epoch_;
+    for (std::size_t i = 0; i < deliver_end; ++i) {
+      const double p = frame_success_(f.rate, bytes, sinr[i]);
+      if (!rng_.chance(p)) continue;
+      MacEntity* rx = cand_node[i];
+      // Membership churn mid-delivery (nothing in the tree does this today:
+      // receivers defer reactions to the event queue) invalidates the
+      // candidate snapshot; re-validate before touching the node.
+      if (nodes_epoch_ != epoch &&
+          std::find(nodes_.begin(), nodes_.end(), rx) == nodes_.end()) {
+        continue;
+      }
+      rx->on_receive(f, sinr[i]);
+    }
+    record_ground_truth(done, trace::TxOutcome::kDelivered);
+  } else {
+    trace::TxOutcome outcome = trace::TxOutcome::kChannelError;
+    if (unicast_rx) {
+      bool delivered = false;
+      double rx_sinr = -100.0;
+      if (deliver_end == 1) {  // the destination was receivable
+        rx_sinr = sinr[0];
+        const double p = frame_success_(f.rate, bytes, rx_sinr);
+        delivered = rng_.chance(p);
+      }
+      if (delivered) {
+        outcome = trace::TxOutcome::kDelivered;
+      } else if (done.has_overlaps()) {
+        outcome = trace::TxOutcome::kCollision;
+        ++collision_count_;
+      }
+      if (delivered) unicast_rx->on_receive(f, rx_sinr);
+    }
+    record_ground_truth(done, outcome);
+  }
+
+  for (std::size_t j = 0; j < sniffers_.size(); ++j) {
+    const std::size_t i = deliver_end + j;
+    sniffers_[j].sniffer->observe(f, done.start, sinr[i],
+                                  sig[i] >= min_rx_dbm);
+  }
+
+  if (snapshot_allocs_ == snaps_before) arena_.rewind(scratch_mark);
+}
+
+void Channel::run_broadcast_plan(const Completed& done) {
+  const mac::Frame& f = *done.frame;
+  const std::uint32_t bytes = f.size_bytes();
+  // Key the sender's power as a bit pattern: double == would conflate +0.0
+  // with -0.0, whose additions can round differently.
+  std::uint64_t offset_bits = 0;
+  static_assert(sizeof offset_bits == sizeof done.power_offset_db);
+  std::memcpy(&offset_bits, &done.power_offset_db, sizeof offset_bits);
+
+  if (done.from_link >= broadcast_plans_.size()) {
+    broadcast_plans_.resize(done.from_link + 1);
+  }
+  BroadcastPlan& plan = broadcast_plans_[done.from_link];
+
+  const bool reusable = plan.links_version == links_.version() &&
+                        plan.nodes_epoch == nodes_epoch_ &&
+                        plan.rate == f.rate && plan.bytes == bytes &&
+                        plan.power_offset_bits == offset_bits &&
+                        plan.sniffer_count == sniffers_.size();
+  if (!reusable) {
+    plan.links_version = links_.version();
+    plan.nodes_epoch = nodes_epoch_;
+    plan.rate = f.rate;
+    plan.bytes = bytes;
+    plan.power_offset_bits = offset_bits;
+    plan.sniffer_count = static_cast<std::uint32_t>(sniffers_.size());
+    plan.node.clear();
+    plan.sinr.clear();
+    plan.p.clear();
+    plan.sniffer_sinr.clear();
+    plan.sniffer_in_range.clear();
+
+    // Same gather as the unplanned batched pass: receivable nodes in nodes_
+    // order (comparison orientation included), then every sniffer.  With no
+    // overlaps the SINR is signal minus the precomputed noise round-trip,
+    // and the success probability depends only on (rate, bytes, sinr) —
+    // frame_success_ is exact-keyed, so evaluating it here instead of inside
+    // the delivery loop returns the identical doubles.
+    const double offset = done.power_offset_db;
+    const double min_rx_dbm = prop_.config().min_rx_dbm;
+    const double* const srow = links_.row(done.from_link);
+    const LinkId* const nl = node_links_.data();
+    const std::size_t n_nodes = nodes_.size();
+    for (std::size_t i = 0; i < n_nodes; ++i) {
+      const LinkId l = nl[i];
+      const double s = srow[l] + offset;
+      if (l != done.from_link && s >= min_rx_dbm) {
+        const double sinr = s - noise_db_roundtrip_;
+        plan.node.push_back(nodes_[i]);
+        plan.sinr.push_back(sinr);
+        plan.p.push_back(frame_success_(f.rate, bytes, sinr));
+      }
+    }
+    for (const SnifferRef& s : sniffers_) {
+      const double sig = srow[s.link] + offset;
+      plan.sniffer_sinr.push_back(sig - noise_db_roundtrip_);
+      plan.sniffer_in_range.push_back(sig >= min_rx_dbm ? 1 : 0);
+    }
+  }
+
+  // Replay (fresh or reused): one delivery draw per candidate in nodes_
+  // order — exactly the unplanned pass's RNG sequence — with the same
+  // mid-delivery membership re-validation.
+  const std::uint64_t epoch = nodes_epoch_;
+  const std::size_t deliver_end = plan.node.size();
+  for (std::size_t i = 0; i < deliver_end; ++i) {
+    if (!rng_.chance(plan.p[i])) continue;
+    MacEntity* rx = plan.node[i];
+    if (nodes_epoch_ != epoch &&
+        std::find(nodes_.begin(), nodes_.end(), rx) == nodes_.end()) {
+      continue;
+    }
+    rx->on_receive(f, plan.sinr[i]);
+  }
+  record_ground_truth(done, trace::TxOutcome::kDelivered);
+
+  for (std::size_t j = 0; j < sniffers_.size(); ++j) {
+    sniffers_[j].sniffer->observe(f, done.start, plan.sniffer_sinr[j],
+                                  plan.sniffer_in_range[j] != 0);
+  }
+}
+
+void Channel::record_ground_truth(const Completed& done,
                                   trace::TxOutcome outcome) {
   // Single construction point for both broadcast and unicast records, so the
   // ground truth's field mapping cannot drift between the two paths.
   if (!ground_truth_) return;
-  const mac::Frame& f = done.frame;
+  const mac::Frame& f = *done.frame;
   trace::TxRecord rec;
   rec.time_us = done.start.count();
   rec.frame_id = f.id;

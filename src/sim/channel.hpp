@@ -15,6 +15,27 @@
 //  * SIFS-separated responses (CTS/ACK/DATA-after-CTS) bypass contention via
 //    direct transmit() calls; because SIFS < DIFS, they always beat the
 //    access timer, giving the standard's atomic exchanges.
+//
+// Hot-path layout (docs/ARCHITECTURE.md has the full story):
+//  * In-flight frames live in a structure-of-arrays pool (FlightTable): the
+//    fields the end-of-air path reads — sender link, power, air window,
+//    overlap span — are parallel vectors indexed by slot, while the cold
+//    payload (frame copy, sender pointer, completion callback) rides in
+//    separate arrays of the same slot space.
+//  * Overlap lists are not materialized per frame.  Each transmission
+//    appends one record to a shared tx log; a frame's interferers are (a) a
+//    snapshot of the on-air set taken at its transmit, stored on the channel
+//    arena, plus (b) the contiguous tx-log span appended while it was on
+//    air.  Both are reclaimed wholesale (log cleared, arena reset) whenever
+//    the medium goes idle, which under DCF happens between virtually every
+//    exchange — steady state allocates nothing.
+//  * Reception is evaluated for all receivers of a frame in one batched
+//    pass over the link cache's contiguous rx-power rows
+//    (evaluate_receptions_batched).  The scalar per-receiver path is
+//    retained verbatim (evaluate_receptions_scalar) behind a runtime
+//    switch — compile with -DWLAN_SCALAR_RECEPTION to default to it — and
+//    the differential oracle suite pins that both produce byte-identical
+//    traces, ground truth and figures.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +49,7 @@
 #include "sim/node.hpp"
 #include "sim/simulator.hpp"
 #include "trace/record.hpp"
+#include "util/arena.hpp"
 #include "util/flat_map.hpp"
 #include "util/rng.hpp"
 
@@ -63,6 +85,12 @@ class Channel {
   /// deterministic per run (the factories' fallback counter is process-wide
   /// and would leak ordering between runs).
   void set_frame_counter(std::uint64_t* counter) { frame_counter_ = counter; }
+
+  /// Selects the reception engine: the batched SoA pass (default) or the
+  /// retained scalar reference path.  Both are pinned byte-identical by the
+  /// differential oracle suite; the scalar path exists to *be* that oracle.
+  void set_scalar_reception(bool scalar) { scalar_reception_ = scalar; }
+  [[nodiscard]] bool scalar_reception() const { return scalar_reception_; }
 
   /// Enters the node into contention with `slots` of backoff to burn.
   /// The node must not already be contending.
@@ -118,21 +146,49 @@ class Channel {
     double power_offset_db;
   };
 
-  struct Active {
-    mac::Frame frame;
+  /// In-flight frame state, structure-of-arrays over recycled slots.  The
+  /// first group is everything the SINR/end-of-air path touches; the second
+  /// is cold bookkeeping.  All vectors stay the same length (one entry per
+  /// pool slot); free slots are listed in free_frames_.
+  struct FlightTable {
+    std::vector<LinkId> from_link;
+    std::vector<double> power_offset_db;
+    std::vector<Microseconds> start;
+    std::vector<Microseconds> end;
+    /// This frame's own record in tx_log_; entries after it (up to the log
+    /// size at end-of-air) are the transmissions that overlapped it.
+    std::vector<std::uint32_t> log_index;
+    /// Arena-resident snapshot of the frames already on air at transmit.
+    std::vector<const Interferer*> snapshot;
+    std::vector<std::uint32_t> snapshot_len;
+    std::vector<std::uint32_t> on_air_pos;
+
+    std::vector<mac::Frame> frame;
     /// Sender, or nullptr when the node was removed mid-air (the frame
     /// finishes via from_link; see remove_node).
-    MacEntity* from = nullptr;
+    std::vector<MacEntity*> from;
+    std::vector<EventQueue::Callback> on_air_done;
+
+    [[nodiscard]] std::size_t size() const { return from_link.size(); }
+    void push_slot();
+  };
+
+  /// A finished transmission, copied out of its (recycled) pool slot.  The
+  /// snapshot span lives on the arena and the log span in tx_log_, so the
+  /// view stays valid through callbacks even if a reentrant transmit claims
+  /// the slot.
+  struct Completed {
+    const mac::Frame* frame = nullptr;
     LinkId from_link = phy::LinkBudgetCache::kNoLink;
     double power_offset_db = 0.0;
-    Microseconds start;
-    Microseconds end;
-    EventQueue::Callback on_air_done;
-    /// Transmitters of every frame that overlapped this one.
-    std::vector<Interferer> overlaps;
-    /// Index of this frame in on_air_ while it is in flight (pool slots are
-    /// recycled; see transmit / on_transmission_end).
-    std::uint32_t on_air_pos = 0;
+    Microseconds start{0};
+    const Interferer* snapshot = nullptr;
+    std::uint32_t snapshot_len = 0;
+    std::uint32_t log_begin = 0;  ///< first overlapping tx-log record
+    std::uint32_t log_end = 0;    ///< one past the last
+    [[nodiscard]] bool has_overlaps() const {
+      return snapshot_len != 0 || log_begin != log_end;
+    }
   };
 
   struct Contender {
@@ -142,18 +198,26 @@ class Channel {
 
   void on_transmission_end(std::uint32_t slot, std::uint64_t frame_id);
   /// In-flight reference counting on link ids: a frame pins its sender's
-  /// link plus every link in its overlap list until it leaves the air, so a
-  /// departed endpoint's id is only handed back to the cache once nothing
-  /// can index it anymore (deferred recycling; see remove_node).
+  /// link plus every link in its overlap set (snapshot + tx-log span) until
+  /// it leaves the air, so a departed endpoint's id is only handed back to
+  /// the cache once nothing can index it anymore (deferred recycling; see
+  /// remove_node).
   void track_link(LinkId id);
   void release_link(LinkId id);
-  void evaluate_receptions(const Active& done);
-  void record_ground_truth(const Active& done, trace::TxOutcome outcome);
+  /// Reference per-receiver reception path (the differential oracle).
+  void evaluate_receptions_scalar(const Completed& done);
+  /// Batched SoA reception path: one pass over the sender's rx-power row
+  /// for every candidate receiver at once.
+  void evaluate_receptions_batched(const Completed& done);
+  /// Interference-free broadcast reception via the sender's memoized plan
+  /// (validate-or-rebuild, then replay).  See BroadcastPlan.
+  void run_broadcast_plan(const Completed& done);
+  void record_ground_truth(const Completed& done, trace::TxOutcome outcome);
   void medium_went_idle();
   void consume_elapsed_slots(Microseconds busy_start);
   void schedule_access_timer();
   void fire_access();
-  [[nodiscard]] double sinr_db_at(const Active& a, LinkId rx) const;
+  [[nodiscard]] double sinr_db_at(const Completed& done, LinkId rx) const;
 
   Simulator& sim_;
   const phy::Propagation& prop_;
@@ -166,6 +230,12 @@ class Channel {
   std::vector<std::uint32_t> link_refs_;
   std::vector<std::uint8_t> link_departed_;
   phy::FrameSuccessCache frame_success_;
+  /// Exact memos for the interference unit conversions (hits return the
+  /// identical doubles the libm calls would; see phy::ExactUnaryMemo).
+  /// mutable: sinr_db_at is logically const; memo fills are invisible to
+  /// callers (hits and misses return the same bits).
+  mutable phy::ExactUnaryMemo<&phy::dbm_to_mw> dbm_to_mw_memo_;
+  mutable phy::ExactUnaryMemo<&phy::mw_to_dbm> mw_to_dbm_memo_;
   /// Noise floor in mW and its dB round-trip, hoisted out of sinr_db_at
   /// (bit-identical to recomputing per call; see sinr_db_at).
   double noise_mw_ = 0.0;
@@ -176,21 +246,63 @@ class Channel {
     LinkId link;
   };
 
+  /// Memoized reception geometry for an interference-free broadcast frame
+  /// from one sender.  Beacons dominate this shape: a static AP re-derives
+  /// the identical candidate set, SINR vector and per-candidate success
+  /// probability every beacon interval.  A plan is reusable only while
+  /// nothing it was derived from can have changed: every membership change,
+  /// roam, sniffer registration or id reuse bumps links_.version(); a node
+  /// removal whose link release is still deferred bumps nodes_epoch_ first;
+  /// and the frame key (rate, size, sender power as a bit pattern) is
+  /// compared exactly.  Replaying a plan draws the delivery RNG once per
+  /// candidate in nodes_ order — the same draws, against the same doubles,
+  /// as a rebuild — so cached and uncached runs stay byte-identical.
+  struct BroadcastPlan {
+    std::uint64_t links_version = ~0ull;
+    std::uint64_t nodes_epoch = ~0ull;
+    std::uint64_t power_offset_bits = 0;
+    phy::Rate rate = phy::Rate::kR1;
+    std::uint32_t bytes = 0;
+    std::uint32_t sniffer_count = 0;
+    std::vector<MacEntity*> node;  ///< receivable nodes, nodes_ order
+    std::vector<double> sinr;      ///< per candidate (no-overlap SINR)
+    std::vector<double> p;         ///< frame_success_(rate, bytes, sinr)
+    std::vector<double> sniffer_sinr;
+    std::vector<std::uint8_t> sniffer_in_range;
+  };
+
   /// Receive-address table (primary addresses + virtual-AP aliases).
   /// kBroadcast is the reserved empty marker: it is delivered by iteration,
   /// never by lookup.
   util::FlatMap<mac::Addr, MacEntity*, mac::kBroadcast> by_addr_;
   std::vector<MacEntity*> nodes_;
+  /// nodes_[i]->link_id_, maintained in lock-step — the contiguous id list
+  /// the batched broadcast pass gathers rx power through.
+  std::vector<LinkId> node_links_;
+  /// Bumped on every add_node/remove_node; the batched delivery loop uses it
+  /// to detect (hypothetical) membership churn mid-delivery and re-validate
+  /// receiver pointers instead of touching freed nodes.
+  std::uint64_t nodes_epoch_ = 0;
   std::vector<SnifferRef> sniffers_;
-  /// In-flight frames: a recycled slot pool plus the list of live slots.
-  /// End-of-air events address their frame by slot in O(1); the pool keeps
-  /// Active structs (and their overlap buffers) out of the allocator.
-  std::vector<Active> frame_pool_;
+  /// In-flight frames: a recycled slot pool (SoA) plus the list of live
+  /// slots.  End-of-air events address their frame by slot in O(1).
+  FlightTable flight_;
   std::vector<std::uint32_t> free_frames_;
   std::vector<std::uint32_t> on_air_;
-  /// Completed frame being processed by on_transmission_end; swapped with
-  /// the pool slot so overlap buffers ping-pong instead of reallocating.
-  Active done_scratch_;
+  /// One record per transmission, in transmit order; cleared when the
+  /// medium goes idle.  A frame's interferers-after-transmit are the
+  /// contiguous span (log_index, size-at-end-of-air).
+  std::vector<Interferer> tx_log_;
+  /// Overlap snapshots and reception scratch; reset when the medium goes
+  /// idle (snapshots) / rewound per evaluation (scratch).
+  util::Arena arena_;
+  /// Snapshot allocations ever made; evaluate_receptions_batched skips its
+  /// scratch rewind if a reentrant transmit put a snapshot above the mark.
+  std::uint64_t snapshot_allocs_ = 0;
+  /// Per-sender broadcast plans, indexed by link id (populated lazily for
+  /// ids that actually send interference-free broadcasts — in practice the
+  /// APs).  Bounded by peak concurrent link ids, like the link cache itself.
+  std::vector<BroadcastPlan> broadcast_plans_;
   std::vector<Contender> contenders_;
 
   Microseconds idle_anchor_{0};  ///< when the current idle period began
@@ -202,6 +314,11 @@ class Channel {
   std::uint64_t* frame_counter_ = nullptr;
   std::uint64_t tx_count_ = 0;
   std::uint64_t collision_count_ = 0;
+#ifdef WLAN_SCALAR_RECEPTION
+  bool scalar_reception_ = true;
+#else
+  bool scalar_reception_ = false;
+#endif
 };
 
 }  // namespace wlan::sim

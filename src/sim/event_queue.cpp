@@ -1,6 +1,7 @@
 #include "sim/event_queue.hpp"
 
 #include <cassert>
+#include <utility>
 
 namespace wlan::sim {
 
@@ -21,9 +22,41 @@ EventId EventQueue::schedule(Microseconds at, Callback fn) {
   }
   Slot& s = slots_[slot];
   s.fn = std::move(fn);
-  heap_.push(Entry{at, next_seq_++, slot, s.gen});
+  heap_push(Entry{at, next_seq_++, slot, s.gen});
   ++live_;
   return EventId{slot, s.gen};
+}
+
+void EventQueue::heap_push(const Entry& e) const {
+  heap_.push_back(e);
+  std::size_t i = heap_.size() - 1;
+  while (i != 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!(heap_[i] < heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void EventQueue::heap_pop() const {
+  const Entry last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) return;
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first_child = (i << 2) + 1;
+    if (first_child >= n) break;
+    const std::size_t end = first_child + 4 < n ? first_child + 4 : n;
+    std::size_t best = first_child;
+    for (std::size_t c = first_child + 1; c < end; ++c) {
+      if (heap_[c] < heap_[best]) best = c;
+    }
+    if (!(heap_[best] < last)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = last;
 }
 
 void EventQueue::cancel(EventId id) {
@@ -41,19 +74,19 @@ void EventQueue::cancel(EventId id) {
 }
 
 void EventQueue::drop_cancelled() const {
-  while (!heap_.empty() && dead(heap_.top())) heap_.pop();
+  while (!heap_.empty() && dead(heap_.front())) heap_pop();
 }
 
 Microseconds EventQueue::next_time() const {
   drop_cancelled();
-  return heap_.empty() ? Microseconds::never() : heap_.top().at;
+  return heap_.empty() ? Microseconds::never() : heap_.front().at;
 }
 
 Microseconds EventQueue::run_next() {
   drop_cancelled();
   assert(!heap_.empty());
-  const Entry top = heap_.top();
-  heap_.pop();
+  const Entry top = heap_.front();
+  heap_pop();
   Slot& s = slots_[top.slot];
   // Move the callable out and retire the slot before running: the callback
   // may schedule new events (and reuse this very slot).

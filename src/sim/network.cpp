@@ -16,6 +16,7 @@ Network::Network(const NetworkConfig& config)
         std::make_unique<Channel>(sim_, prop_, timing_, n, config.seed));
     channels_.back()->set_ground_truth(&ground_truth_);
     channels_.back()->set_frame_counter(&frame_counter_);
+    channels_.back()->set_scalar_reception(config.scalar_reception);
   }
 }
 

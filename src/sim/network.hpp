@@ -38,6 +38,11 @@ struct NetworkConfig {
   /// against ~15 dBm PCMCIA radios), which keeps the ACK/beacon return
   /// path alive toward fringe clients.
   double ap_power_offset_db = 5.0;
+  /// Run every channel on the scalar per-receiver reception path instead of
+  /// the batched SoA engine.  Output is byte-identical either way (the
+  /// differential oracle suite pins it); this is the knob that suite — and
+  /// anyone bisecting a suspected hot-path bug — flips.
+  bool scalar_reception = false;
 };
 
 class Network {

@@ -67,7 +67,10 @@ class Sniffer {
   SnifferConfig config_;
   std::uint8_t id_;
   util::Rng rng_;
-  phy::FrameSuccessCache frame_success_;
+  /// Same start-small/grow-to-2^18 policy as the channel's own cache: a
+  /// sniffer in a conference-scale session sees the channel's entire
+  /// (size, SINR) working set, which thrashes a fixed 4096-entry table.
+  phy::FrameSuccessCache frame_success_{12, 14};
   std::vector<trace::CaptureRecord> records_;
   SnifferStats stats_;
   std::int64_t current_second_ = -1;

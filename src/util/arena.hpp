@@ -1,0 +1,175 @@
+// Arena: a chained-block bump allocator for per-frame transient buffers.
+//
+// The channel hot path needs short-lived arrays whose lifetime is bounded by
+// a busy period on the air (overlap snapshots) or by a single reception
+// evaluation (SINR scratch).  A general-purpose allocator pays malloc/free
+// per buffer and scatters them across the heap; the arena hands out
+// contiguous slices with a pointer bump and reclaims them wholesale — either
+// back to a marker (scoped scratch) or entirely (reset when the medium goes
+// idle).  Blocks are retained across resets, so a steady-state simulation
+// performs zero allocations after warm-up.
+//
+// Contract:
+//  * alloc_array<T> returns *uninitialized* storage for trivially
+//    destructible T with alignof(T) <= kAlign; the caller writes before
+//    reading.  Pointers stay valid until the marker they were allocated
+//    under is rewound (or reset() runs) — growth never moves live blocks.
+//  * mark()/rewind() nest like a stack: rewinding to a marker invalidates
+//    everything allocated after it was taken, nothing before.
+//  * Under AddressSanitizer every byte outside the live region is poisoned,
+//    so a use-after-rewind/reset faults immediately instead of silently
+//    reading recycled scratch.  (All boundaries sit on kAlign, comfortably
+//    beyond ASan's 8-byte poison granularity.)
+// Not thread-safe: one arena per channel, like the RNG and caches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define WLAN_ARENA_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define WLAN_ARENA_ASAN 1
+#endif
+#endif
+
+#ifdef WLAN_ARENA_ASAN
+extern "C" {
+void __asan_poison_memory_region(void const volatile* addr, std::size_t size);
+void __asan_unpoison_memory_region(void const volatile* addr,
+                                   std::size_t size);
+}
+#endif
+
+namespace wlan::util {
+
+class Arena {
+ public:
+  /// Every allocation is aligned (and size-rounded) to this boundary.
+  static constexpr std::size_t kAlign = 16;
+
+  explicit Arena(std::size_t first_block_bytes = 4096)
+      : first_block_bytes_(round_up(first_block_bytes)) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  ~Arena() {
+    // Hand the blocks back to the heap unpoisoned; the C++ runtime is
+    // allowed to touch freed storage (e.g. to thread free lists).
+    for (Block& b : blocks_) unpoison(b.data.get(), b.size);
+  }
+
+  /// Uninitialized storage for `count` objects of T.  count == 0 returns a
+  /// valid (dereference-nothing) pointer.
+  template <class T>
+  [[nodiscard]] T* alloc_array(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena storage is reclaimed without running destructors");
+    static_assert(alignof(T) <= kAlign, "over-aligned T needs a bigger kAlign");
+    return static_cast<T*>(alloc_bytes(count * sizeof(T)));
+  }
+
+  /// A position in the arena; everything allocated after mark() is reclaimed
+  /// by rewind().  Markers from before a reset() must not be rewound to.
+  struct Marker {
+    std::size_t block = 0;
+    std::size_t used = 0;
+  };
+
+  [[nodiscard]] Marker mark() const { return Marker{cur_, used_}; }
+
+  void rewind(const Marker& m) {
+    for (std::size_t b = m.block + 1; b <= cur_ && b < blocks_.size(); ++b) {
+      poison(blocks_[b].data.get(), blocks_[b].size);
+    }
+    if (m.block < blocks_.size()) {
+      poison(blocks_[m.block].data.get() + m.used,
+             blocks_[m.block].size - m.used);
+    }
+    cur_ = m.block;
+    used_ = m.used;
+  }
+
+  /// Reclaims everything; blocks are kept for reuse.
+  void reset() { rewind(Marker{}); }
+
+  // --- introspection (tests, diagnostics) ----------------------------------
+  [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
+  [[nodiscard]] std::size_t capacity_bytes() const {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+  /// Bytes currently reachable from live allocations (block-granular for
+  /// exhausted blocks, exact in the open one).
+  [[nodiscard]] std::size_t bytes_in_use() const {
+    std::size_t total = 0;
+    for (std::size_t b = 0; b < cur_ && b < blocks_.size(); ++b) {
+      total += blocks_[b].size;
+    }
+    return total + used_;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  static constexpr std::size_t round_up(std::size_t n) {
+    return (n + (kAlign - 1)) & ~(kAlign - 1);
+  }
+
+  static void poison(const void* p, std::size_t n) {
+#ifdef WLAN_ARENA_ASAN
+    __asan_poison_memory_region(p, n);
+#else
+    (void)p;
+    (void)n;
+#endif
+  }
+  static void unpoison(const void* p, std::size_t n) {
+#ifdef WLAN_ARENA_ASAN
+    __asan_unpoison_memory_region(p, n);
+#else
+    (void)p;
+    (void)n;
+#endif
+  }
+
+  void* alloc_bytes(std::size_t bytes) {
+    bytes = round_up(bytes == 0 ? 1 : bytes);
+    // Advance past blocks too small for this request (rare: block sizes grow
+    // geometrically and requests are small; a skipped remainder is reclaimed
+    // by the next rewind/reset).
+    while (cur_ < blocks_.size() &&
+           used_ + bytes > blocks_[cur_].size) {
+      ++cur_;
+      used_ = 0;
+    }
+    if (cur_ == blocks_.size()) {
+      const std::size_t grown =
+          blocks_.empty() ? first_block_bytes_ : blocks_.back().size * 2;
+      const std::size_t size = bytes > grown ? bytes : grown;
+      blocks_.push_back(Block{std::make_unique<std::byte[]>(size), size});
+      poison(blocks_.back().data.get(), size);
+      used_ = 0;
+    }
+    std::byte* p = blocks_[cur_].data.get() + used_;
+    used_ += bytes;
+    unpoison(p, bytes);
+    return p;
+  }
+
+  std::size_t first_block_bytes_;
+  std::vector<Block> blocks_;
+  std::size_t cur_ = 0;   ///< block currently being bumped
+  std::size_t used_ = 0;  ///< bytes consumed in blocks_[cur_]
+};
+
+}  // namespace wlan::util

@@ -23,6 +23,7 @@ sim::NetworkConfig network_config(const ScenarioConfig& cfg,
       kind == SessionKind::kPlenary ? 3.8 : 3.0;
   net.propagation.shadowing_sigma_db =
       kind == SessionKind::kPlenary ? 6.0 : 4.0;
+  net.scalar_reception = cfg.scalar_reception;
   return net;
 }
 
@@ -166,6 +167,7 @@ CellResult run_cell(const CellConfig& config) {
   net_cfg.channels = {config.channel};
   net_cfg.propagation.path_loss_exponent = config.path_loss_exponent;
   net_cfg.propagation.shadowing_sigma_db = config.shadowing_sigma_db;
+  net_cfg.scalar_reception = config.scalar_reception;
 
   sim::Network net(net_cfg);
   util::Rng rng(config.seed ^ 0xCE11ULL);

@@ -40,6 +40,9 @@ struct ScenarioConfig {
   double rtscts_fraction = 0.03;
   rate::ControllerConfig rate;
   mac::TimingProfile timing = mac::TimingProfile::kPaper;
+  /// Use the channels' scalar reference reception path instead of the
+  /// batched engine (byte-identical output; see sim::NetworkConfig).
+  bool scalar_reception = false;
 
   // --- population dynamics -------------------------------------------------
   /// > 0 switches the session from the classic fixed-curve UserManager to
@@ -117,6 +120,9 @@ struct CellConfig {
   double rtscts_fraction = 0.05;
   rate::ControllerConfig rate;
   mac::TimingProfile timing = mac::TimingProfile::kPaper;
+  /// Use the channels' scalar reference reception path instead of the
+  /// batched engine (byte-identical output; see sim::NetworkConfig).
+  bool scalar_reception = false;
   double duration_s = 25.0;
   double warmup_s = 3.0;  ///< stripped from the returned trace
   /// Square cell side.  Large enough that edge users have marginal SNR and
