@@ -1,0 +1,68 @@
+#!/usr/bin/env sh
+# Compile-time half of the observability out-of-band invariant
+# (docs/OBSERVABILITY.md): a -DWLAN_OBS=OFF build — every counter
+# increment and trace span compiled to nothing — must produce byte-identical
+# figure CSVs and manifests to the instrumented default build.
+#
+# The runtime half (tracing on vs off within one build, and counter
+# snapshots across thread counts) runs in the tier-1 suite
+# (exp.runner_determinism_test); this script needs a second build tree, so
+# it is run on demand / before a release rather than on every check:
+#
+#     ./scripts/obs_killswitch_check.sh
+#
+# Covered outputs: the fig06 and fig15 figure CSVs, both sweeps' manifests,
+# and a churn-session manifest (ietf-day-churn via example_run_experiment).
+# Manifests are compared with the wall_ms column stripped — per-run wall
+# clock is the one intentionally nondeterministic manifest field.
+set -e
+
+cd "$(dirname "$0")/.."
+
+ON=build
+OFF=build-obsoff
+TARGETS="bench_fig06_throughput_goodput bench_fig15_acceptance_delay \
+         example_run_experiment"
+
+cmake -B "$ON" -S . > /dev/null
+cmake -B "$OFF" -S . -DWLAN_OBS=OFF > /dev/null
+for t in $TARGETS; do
+  cmake --build "$ON" -j --target "$t" > /dev/null
+  cmake --build "$OFF" -j --target "$t" > /dev/null
+done
+
+for b in "$ON" "$OFF"; do
+  rm -rf "$b/obscheck"
+  "./$b/bench_fig06_throughput_goodput" --threads 2 --seeds 1 --duration 4 \
+      --quiet --out-dir "$b/obscheck" > /dev/null
+  "./$b/bench_fig15_acceptance_delay" --threads 2 --seeds 1 --duration 4 \
+      --quiet --out-dir "$b/obscheck" > /dev/null
+  "./$b/example_run_experiment" ietf-day-churn --threads 2 --seeds 1 \
+      --duration 6 --churn 4 --quiet --out-dir "$b/obscheck" > /dev/null
+done
+
+# Figure CSVs: exact bytes.
+for f in fig06.csv fig15.csv; do
+  cmp "$ON/obscheck/$f" "$OFF/obscheck/$f"
+  echo "identical: $f"
+done
+
+# Manifests: exact bytes after dropping the trailing wall_ms column.
+for f in fig06_manifest.csv fig15_manifest.csv \
+         example_ietf-day-churn_manifest.csv; do
+  sed 's/,[^,]*$//' "$ON/obscheck/$f" > "$ON/obscheck/$f.nowall"
+  sed 's/,[^,]*$//' "$OFF/obscheck/$f" > "$OFF/obscheck/$f.nowall"
+  cmp "$ON/obscheck/$f.nowall" "$OFF/obscheck/$f.nowall"
+  echo "identical: $f (wall_ms stripped)"
+done
+
+# The OFF build's counter snapshots must exist but read all-zero (the
+# Metrics type stays functional; only the increments are compiled away).
+awk -F, 'NR > 1 { for (i = 4; i <= NF; ++i) if ($i != 0) exit 1 }' \
+    "$OFF/obscheck/fig06_metrics.csv" || {
+  echo "FAIL: -DWLAN_OBS=OFF build still counts something" \
+       "(see $OFF/obscheck/fig06_metrics.csv)" >&2
+  exit 1
+}
+echo "identical: figure + manifest bytes; OFF-build counters all zero"
+echo "obs_killswitch_check: OK"

@@ -26,6 +26,14 @@ falls below the baseline's by more than the same threshold.  This guards the
 engine's two headline numbers — how much simulated time and how many capture
 records one wall-clock second buys — directly, not just via per-row ns.
 
+Rows may also carry a "counters" object of deterministic work counters
+(events executed, delivery RNG draws, frame-success cache misses, ...).
+Unlike wall-clock, these are pure functions of (seed, config), so they are
+compared EXACTLY — no normalization, no threshold: any drift is a behavior
+change, and the failure names the counter.  A counter present on only one
+side is reported but never fails (new instrumentation, or a -DWLAN_OBS=OFF
+build, which emits no counters at all).
+
 New benchmarks missing from the baseline
 are reported but never fail the run; refresh the baselines with:
 
@@ -44,10 +52,11 @@ THROUGHPUT_KEYS = ("sim_seconds_per_wall_second", "records_per_second")
 
 
 def load(path):
-    """Returns ({name: cpu_ns}, {name: {throughput_key: rate}})."""
+    """Returns ({name: cpu_ns}, {name: {throughput_key: rate}},
+    {name: {counter_name: int}})."""
     with open(path) as f:
         data = json.load(f)
-    times, rates = {}, {}
+    times, rates, counters = {}, {}, {}
     for b in data.get("benchmarks", []):
         if b.get("run_type", "iteration") != "iteration":
             continue
@@ -55,13 +64,33 @@ def load(path):
         row_rates = {k: b[k] for k in THROUGHPUT_KEYS if b.get(k, 0) > 0}
         if row_rates:
             rates[b["name"]] = row_rates
-    return times, rates
+        if b.get("counters"):
+            counters[b["name"]] = b["counters"]
+    return times, rates, counters
+
+
+def guard_counters(name, cur, base):
+    """Exact-match comparison of one row's deterministic work counters.
+    Returns the list of failed `row/counter` labels."""
+    failures = []
+    for key in sorted(set(cur) | set(base)):
+        if key not in base:
+            print(f"  NEW   {name}/{key}: {cur[key]} (not in baseline)")
+        elif key not in cur:
+            print(f"  GONE  {name}/{key}: in baseline but not in this run")
+        elif cur[key] != base[key]:
+            failures.append(f"{name}/{key}")
+            print(f"  DRIFT      {name}/{key}: {cur[key]} != baseline "
+                  f"{base[key]} (deterministic counter; exact match required)")
+        else:
+            print(f"  {'ok':10s} {name}/{key}: {cur[key]} (exact)")
+    return failures
 
 
 def guard_pair(current_path, baseline_path, threshold):
     """Returns the list of regressed benchmark names for one pair."""
-    current, cur_rates = load(current_path)
-    baseline, base_rates = load(baseline_path)
+    current, cur_rates, cur_counters = load(current_path)
+    baseline, base_rates, base_counters = load(baseline_path)
     for name, data in ((current_path, current), (baseline_path, baseline)):
         if REFERENCE not in data:
             sys.exit(f"perf_guard: {name} lacks {REFERENCE}; cannot normalize")
@@ -101,6 +130,16 @@ def guard_pair(current_path, baseline_path, threshold):
                 failures.append(f"{name}/{key}")
             print(f"  {verdict:10s} {name}/{key}: normalized x{rratio:.3f} "
                   f"({cur:.1f}/s vs baseline {base:.1f}/s)")
+
+        # Deterministic work counters: exact match, no normalization.  Only
+        # rows carrying counters on both sides are guarded, so a
+        # -DWLAN_OBS=OFF run (no counters emitted) degrades gracefully.
+        if name in cur_counters and name in base_counters:
+            failures += guard_counters(name, cur_counters[name],
+                                       base_counters[name])
+        elif name in cur_counters or name in base_counters:
+            side = "current" if name in cur_counters else "baseline"
+            print(f"  NOTE  {name}: counters only in {side}; not guarded")
 
     for name in sorted(set(baseline) - set(current) - {REFERENCE}):
         print(f"  GONE  {name}: in baseline but not in this run")

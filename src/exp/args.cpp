@@ -5,9 +5,26 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/trace_span.hpp"
+
 namespace wlan::exp {
 
 namespace {
+
+#if WLAN_OBS_ENABLED
+/// --trace-out destination; the atexit hook below writes it after main
+/// returns, so every driver gets the dump without any per-driver code.
+std::string g_trace_out;  // NOLINT(cert-err58-cpp): literal-free construction
+
+void dump_trace_at_exit() {
+  if (g_trace_out.empty()) return;
+  if (obs::TraceLog::instance().write(g_trace_out)) {
+    std::fprintf(stderr, "trace written to %s\n", g_trace_out.c_str());
+  } else {
+    std::fprintf(stderr, "failed to write trace to %s\n", g_trace_out.c_str());
+  }
+}
+#endif
 
 [[noreturn]] void usage(std::string_view what, int code) {
   std::FILE* out = code == 0 ? stdout : stderr;
@@ -20,6 +37,8 @@ namespace {
                "  --only RUN      replay one grid run (a manifest 'run' index)\n"
                "  --churn LIST    comma-separated churn-rate axis (population\n"
                "                  turnovers/min; churn scenarios only)\n"
+               "  --trace-out F   dump Chrome trace-event JSON (wall-clock\n"
+               "                  spans; open in Perfetto) to F at exit\n"
                "  --quiet         no per-run progress on stderr\n"
                "  --help          this text\n");
   std::exit(code);
@@ -89,6 +108,20 @@ BenchArgs parse_bench_args(int argc, char** argv, std::string_view what,
         args.churn_rates.push_back(parsed);
         pos = comma + 1;
       }
+    } else if (flag == "--trace-out") {
+      args.trace_out = value();
+#if WLAN_OBS_ENABLED
+      // Enable before the sweep starts; dump after main returns.  Handler
+      // order: instance() is constructed here, *before* std::atexit, so the
+      // dump runs before the TraceLog's own static destructor.
+      g_trace_out = args.trace_out;
+      obs::TraceLog::instance().enable();
+      std::atexit(dump_trace_at_exit);
+#else
+      std::fprintf(stderr,
+                   "--trace-out: observability compiled out (-DWLAN_OBS=OFF); "
+                   "no trace will be written\n");
+#endif
     } else if (flag == "--quiet") {
       args.progress = false;
     } else {

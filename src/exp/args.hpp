@@ -23,6 +23,10 @@ struct BenchArgs {
   /// --churn values: population turnovers per minute for the churn-rate
   /// axis (empty = keep the spec's default single-value axis).
   std::vector<double> churn_rates;
+  /// --trace-out FILE: buffer obs::Span records during the sweep and dump
+  /// them as Chrome trace-event JSON (Perfetto-viewable) at process exit.
+  /// Empty = tracing stays disabled and costs nothing.
+  std::string trace_out;
   /// Non-flag arguments in order (capture files for the analysis tools);
   /// only populated when the driver opts in via allow_positionals.
   std::vector<std::string> positionals;

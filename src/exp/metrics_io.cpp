@@ -1,0 +1,61 @@
+#include "exp/metrics_io.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace wlan::exp {
+
+namespace {
+
+void write_counters_object(std::ofstream& out, const obs::Metrics& m,
+                           const char* indent) {
+  out << "{";
+  for (std::size_t c = 0; c < obs::kNumCounters; ++c) {
+    const auto id = static_cast<obs::Id>(c);
+    out << (c ? ",\n" : "\n") << indent << '"' << obs::name(id)
+        << "\": " << m.value(id);
+  }
+  out << "}";
+}
+
+}  // namespace
+
+void write_metrics_csv(const std::string& path,
+                       const std::vector<RunMetrics>& runs) {
+  std::vector<std::string> header = {"run", "point", "seed"};
+  for (std::size_t c = 0; c < obs::kNumCounters; ++c) {
+    header.emplace_back(obs::name(static_cast<obs::Id>(c)));
+  }
+  util::CsvWriter csv(path, header);
+  for (const RunMetrics& r : runs) {
+    std::vector<std::string> row = {std::to_string(r.run_index),
+                                    std::to_string(r.point_index),
+                                    std::to_string(r.seed)};
+    for (std::size_t c = 0; c < obs::kNumCounters; ++c) {
+      row.push_back(std::to_string(r.metrics.value(static_cast<obs::Id>(c))));
+    }
+    csv.row_strings(row);
+  }
+}
+
+void write_metrics_json(const std::string& path,
+                        const std::vector<RunMetrics>& runs,
+                        const obs::Metrics& aggregate) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot create " + path);
+  out << "{\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RunMetrics& r = runs[i];
+    out << "    {\"run\": " << r.run_index << ", \"point\": " << r.point_index
+        << ", \"seed\": " << r.seed << ", \"counters\": ";
+    write_counters_object(out, r.metrics, "      ");
+    out << (i + 1 < runs.size() ? "},\n" : "}\n");
+  }
+  out << "  ],\n  \"aggregate\": ";
+  write_counters_object(out, aggregate, "    ");
+  out << "\n}\n";
+}
+
+}  // namespace wlan::exp

@@ -12,6 +12,8 @@
 #include <thread>
 
 #include "exp/registry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_span.hpp"
 
 namespace wlan::exp {
 
@@ -28,9 +30,16 @@ double ms_since(Clock::time_point t0) {
 struct Slot {
   core::FigureAccumulator figures;
   RunRecord record;
+  obs::Metrics metrics;  ///< this run's work counters (MetricsScope target)
   std::exception_ptr error;  ///< a scenario factory threw
   std::atomic<bool> done{false};
 };
+
+/// Trace-span label for one run: "run: <scenario> #<index> seed <seed>".
+std::string span_name(const RunSpec& run) {
+  return "run: " + run.scenario + " #" + std::to_string(run.run_index) +
+         " seed " + std::to_string(run.seed);
+}
 
 }  // namespace
 
@@ -112,10 +121,16 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
       const auto run_t0 = Clock::now();
       double wall_ms = 0.0;
       try {
+        // The scope makes slot.metrics this thread's deposit target for the
+        // whole run; the span (recorded only under --trace-out) shows where
+        // the sweep's wall time went, per worker.
+        obs::MetricsScope metrics_scope(slot.metrics);
+        obs::Span span(span_name(run));
         const RunOutput out = registry.run(run.scenario, run);
         wall_ms = ms_since(run_t0);
         slot.figures.add(out.analysis);
         slot.record = make_record(run, out, wall_ms);
+        WLAN_OBS_ONLY(slot.metrics.add(obs::Id::kRuns, 1);)
       } catch (...) {
         // Never let an exception escape the thread (std::terminate); park
         // it in the slot for the merging thread to rethrow.
@@ -169,6 +184,9 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
       result.per_point[runs[i].point_index].merge(slot.figures);
     }
     result.runs.push_back(std::move(slot.record));
+    result.metrics.merge(slot.metrics);
+    result.run_metrics.push_back({runs[i].run_index, runs[i].point_index,
+                                  runs[i].seed, slot.metrics});
     slot.figures = core::FigureAccumulator{};  // release per-run memory early
   }
   for (std::thread& t : pool) t.join();
@@ -187,6 +205,11 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
                        opt.timing_in_manifest);
     write_manifest_json(stem + "_manifest.json", result.runs,
                         opt.timing_in_manifest);
+    // Counter snapshots ride in their own files so the manifest bytes stay
+    // identical with observability on, off, or compiled out.
+    write_metrics_csv(stem + "_metrics.csv", result.run_metrics);
+    write_metrics_json(stem + "_metrics.json", result.run_metrics,
+                       result.metrics);
   }
   return result;
 }

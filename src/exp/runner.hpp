@@ -17,6 +17,7 @@
 
 #include "core/report.hpp"
 #include "exp/manifest.hpp"
+#include "exp/metrics_io.hpp"
 #include "exp/spec.hpp"
 
 namespace wlan::exp {
@@ -48,6 +49,13 @@ struct ExperimentResult {
   std::vector<core::FigureAccumulator> per_point;
   /// One manifest row per run, in grid order.
   std::vector<RunRecord> runs;
+  /// One work-counter snapshot per run, in grid order (all zeros in a
+  /// -DWLAN_OBS=OFF build).  Deterministic: byte-identical for any thread
+  /// count and for an --only replay of the same row.
+  std::vector<RunMetrics> run_metrics;
+  /// Every run's counters folded with Metrics::merge (kSum adds, kMax
+  /// takes the high-water mark across runs).
+  obs::Metrics metrics;
   double wall_s = 0.0;  ///< whole-experiment wall clock
 };
 

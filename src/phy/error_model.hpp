@@ -15,6 +15,7 @@
 #include <cstring>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "phy/rate.hpp"
 
 namespace wlan::phy {
@@ -75,7 +76,10 @@ class FrameSuccessCache {
     // the table with single-use keys; answer them without touching it.
     // (Thresholds are copied into the cache at construction: this runs tens
     // of millions of times per session, too hot for a static-local guard.)
-    if (snr_db >= saturation_db_[rate_index(rate)]) return 1.0;
+    if (snr_db >= saturation_db_[rate_index(rate)]) {
+      WLAN_OBS_ONLY(++saturated_;)
+      return 1.0;
+    }
     std::uint64_t snr_bits;
     std::memcpy(&snr_bits, &snr_db, sizeof snr_bits);
     const std::uint64_t key =
@@ -85,10 +89,13 @@ class FrameSuccessCache {
     Entry* e = &entries_[(key * 0xC2B2AE3D27D4EB4FULL) >> (64 - log2_)];
     if (e->snr_bits == snr_bits && e->bytes == bytes && e->rate == rate &&
         e->valid) {
+      WLAN_OBS_ONLY(++hits_;)
       return e->p;
     }
+    WLAN_OBS_ONLY(++evals_;)
     if (log2_ < log2_cap_ &&
         ++misses_since_resize_ >= (entries_.size() << 2)) {
+      WLAN_OBS_ONLY(++resizes_;)
       log2_ = log2_ + 2 > log2_cap_ ? log2_cap_ : log2_ + 2;
       entries_.assign(std::size_t{1} << log2_, Entry{});
       misses_since_resize_ = 0;
@@ -105,6 +112,15 @@ class FrameSuccessCache {
   /// Current table size; tests pin the growth policy with this.
   [[nodiscard]] std::size_t capacity() const { return entries_.size(); }
 
+  // Work counters (zero in a -DWLAN_OBS=OFF build): exact-key hits, full
+  // frame_success_probability evaluations (the four-libm-pow path), answers
+  // served by the saturation shortcut, and table resizes.  Deterministic
+  // per (seed, config); harvested into obs::Metrics once per run.
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t evals() const { return evals_; }
+  [[nodiscard]] std::uint64_t saturated() const { return saturated_; }
+  [[nodiscard]] std::uint64_t resizes() const { return resizes_; }
+
  private:
   struct Entry {
     std::uint64_t snr_bits = 0;
@@ -117,6 +133,10 @@ class FrameSuccessCache {
   unsigned log2_;
   unsigned log2_cap_;
   std::uint64_t misses_since_resize_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t evals_ = 0;
+  std::uint64_t saturated_ = 0;
+  std::uint64_t resizes_ = 0;
   std::vector<Entry> entries_;
   std::array<double, kNumRates> saturation_db_{};
 };

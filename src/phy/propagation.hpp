@@ -10,6 +10,7 @@
 #include <cstring>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace wlan::phy {
@@ -94,7 +95,11 @@ class ExactUnaryMemo {
     std::uint64_t bits;
     std::memcpy(&bits, &x, sizeof bits);
     Entry* e = &entries_[(bits * 0x9E3779B97F4A7C15ULL) >> (64 - log2_)];
-    if (e->bits == bits) return e->value;
+    if (e->bits == bits) {
+      WLAN_OBS_ONLY(++hits_;)
+      return e->value;
+    }
+    WLAN_OBS_ONLY(++evals_;)
     if (log2_ < log2_cap_ &&
         ++misses_since_resize_ >= (entries_.size() << 2)) {
       log2_ = log2_ + 2 > log2_cap_ ? log2_cap_ : log2_ + 2;
@@ -110,6 +115,11 @@ class ExactUnaryMemo {
   /// Current table size; tests pin the growth policy with this.
   [[nodiscard]] std::size_t capacity() const { return entries_.size(); }
 
+  // Work counters (zero in a -DWLAN_OBS=OFF build): exact-key hits vs full
+  // Fn (libm) evaluations.  Harvested into obs::Metrics once per run.
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t evals() const { return evals_; }
+
  private:
   struct Entry {
     std::uint64_t bits;
@@ -122,6 +132,8 @@ class ExactUnaryMemo {
   unsigned log2_;
   unsigned log2_cap_;
   std::uint64_t misses_since_resize_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t evals_ = 0;
   std::vector<Entry> entries_;
 };
 

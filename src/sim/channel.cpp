@@ -53,6 +53,7 @@ void Channel::release_link(LinkId id) {
   if (--link_refs_[id] == 0 && link_departed_[id] != 0) {
     link_departed_[id] = 0;
     links_.remove_endpoint(id);
+    WLAN_OBS_ONLY(++links_recycled_;)
   }
 }
 
@@ -104,6 +105,7 @@ void Channel::remove_node(MacEntity* node) {
   if (old_link != phy::LinkBudgetCache::kNoLink) {
     if (link_refs_[old_link] == 0) {
       links_.remove_endpoint(old_link);
+      WLAN_OBS_ONLY(++links_recycled_;)
     } else {
       link_departed_[old_link] = 1;
     }
@@ -249,6 +251,7 @@ void Channel::on_transmission_end(std::uint32_t slot, std::uint64_t frame_id) {
   // reset below.
   assert(flight_.frame[slot].id == frame_id);
   (void)frame_id;
+  WLAN_OBS_ONLY(++end_of_air_;)
   const mac::Frame frame = flight_.frame[slot];
   Completed done;
   done.frame = &frame;
@@ -279,8 +282,10 @@ void Channel::on_transmission_end(std::uint32_t slot, std::uint64_t frame_id) {
   // correct idle anchor.
   if (done_cb) done_cb();
   if (scalar_reception_) {
+    WLAN_OBS_ONLY(++receptions_scalar_;)
     evaluate_receptions_scalar(done);
   } else {
+    WLAN_OBS_ONLY(++receptions_batched_;)
     evaluate_receptions_batched(done);
   }
   // The frame is fully processed: drop its link references.  A link whose
@@ -345,6 +350,7 @@ void Channel::evaluate_receptions_scalar(const Completed& done) {
     if (!receivable(rx->link_id_)) return;
     const double sinr = sinr_db_at(done, rx->link_id_);
     const double p = frame_success_(f.rate, f.size_bytes(), sinr);
+    WLAN_OBS_ONLY(++chance_draws_;)
     if (rng_.chance(p)) rx->on_receive(f, sinr);
   };
 
@@ -364,6 +370,7 @@ void Channel::evaluate_receptions_scalar(const Completed& done) {
       if (receivable(rx->link_id_)) {
         sinr = sinr_db_at(done, rx->link_id_);
         const double p = frame_success_(f.rate, f.size_bytes(), sinr);
+        WLAN_OBS_ONLY(++chance_draws_;)
         delivered = rng_.chance(p);
       }
       if (delivered) {
@@ -485,6 +492,7 @@ void Channel::evaluate_receptions_batched(const Completed& done) {
   // order — and only for the delivery candidates, never sniffers.
   if (f.dst == mac::kBroadcast) {
     const std::uint64_t epoch = nodes_epoch_;
+    WLAN_OBS_ONLY(chance_draws_ += deliver_end;)
     for (std::size_t i = 0; i < deliver_end; ++i) {
       const double p = frame_success_(f.rate, bytes, sinr[i]);
       if (!rng_.chance(p)) continue;
@@ -507,6 +515,7 @@ void Channel::evaluate_receptions_batched(const Completed& done) {
       if (deliver_end == 1) {  // the destination was receivable
         rx_sinr = sinr[0];
         const double p = frame_success_(f.rate, bytes, rx_sinr);
+        WLAN_OBS_ONLY(++chance_draws_;)
         delivered = rng_.chance(p);
       }
       if (delivered) {
@@ -548,6 +557,7 @@ void Channel::run_broadcast_plan(const Completed& done) {
                         plan.rate == f.rate && plan.bytes == bytes &&
                         plan.power_offset_bits == offset_bits &&
                         plan.sniffer_count == sniffers_.size();
+  WLAN_OBS_ONLY(reusable ? ++plan_hits_ : ++plan_rebuilds_;)
   if (!reusable) {
     plan.links_version = links_.version();
     plan.nodes_epoch = nodes_epoch_;
@@ -594,6 +604,7 @@ void Channel::run_broadcast_plan(const Completed& done) {
   // mid-delivery membership re-validation.
   const std::uint64_t epoch = nodes_epoch_;
   const std::size_t deliver_end = plan.node.size();
+  WLAN_OBS_ONLY(chance_draws_ += deliver_end;)
   for (std::size_t i = 0; i < deliver_end; ++i) {
     if (!rng_.chance(plan.p[i])) continue;
     MacEntity* rx = plan.node[i];
@@ -609,6 +620,35 @@ void Channel::run_broadcast_plan(const Completed& done) {
     sniffers_[j].sniffer->observe(f, done.start, plan.sniffer_sinr[j],
                                   plan.sniffer_in_range[j] != 0);
   }
+}
+
+void Channel::harvest_metrics(obs::Metrics& m) const {
+  using obs::Id;
+  m.add(Id::kTransmissions, tx_count_);
+  m.add(Id::kCollisions, collision_count_);
+  m.add(Id::kEndOfAirEvents, end_of_air_);
+  m.add(Id::kAccessGrants, access_grants_);
+  m.add(Id::kDeliveryChanceDraws, chance_draws_);
+  m.add(Id::kReceptionsScalar, receptions_scalar_);
+  m.add(Id::kReceptionsBatched, receptions_batched_);
+  m.add(Id::kBroadcastPlanHits, plan_hits_);
+  m.add(Id::kBroadcastPlanRebuilds, plan_rebuilds_);
+  m.add(Id::kLinkIdsRecycled, links_recycled_);
+  m.add(Id::kFrameSuccessHits, frame_success_.hits());
+  m.add(Id::kFrameSuccessEvals, frame_success_.evals());
+  m.add(Id::kFrameSuccessSaturated, frame_success_.saturated());
+  m.add(Id::kFrameSuccessResizes, frame_success_.resizes());
+  m.add(Id::kDbmToMwHits, dbm_to_mw_memo_.hits());
+  m.add(Id::kDbmToMwEvals, dbm_to_mw_memo_.evals());
+  m.add(Id::kMwToDbmHits, mw_to_dbm_memo_.hits());
+  m.add(Id::kMwToDbmEvals, mw_to_dbm_memo_.evals());
+  m.note_max(Id::kLinkCacheEndpointsHw, links_.endpoints());
+  m.note_max(Id::kLinkCacheIdCapacityHw, links_.id_capacity());
+  m.add(Id::kLinkCacheMutations, links_.version());
+  m.note_max(Id::kArenaBlocksHw, arena_.block_count());
+  m.note_max(Id::kArenaCapacityBytesHw, arena_.capacity_bytes());
+  m.note_max(Id::kArenaAllocBytesHw, arena_.alloc_bytes_high_water());
+  m.add(Id::kArenaResets, arena_.resets());
 }
 
 void Channel::record_ground_truth(const Completed& done,
@@ -684,6 +724,7 @@ void Channel::fire_access() {
   // remaining contenders do not double-count the consumed slots.
   idle_anchor_ = sim_.now() - timing_.difs;
 
+  WLAN_OBS_ONLY(access_grants_ += winners.size();)
   for (MacEntity* w : winners) w->access_granted();
 
   // If a winner decided not to transmit (empty queue race), the medium may

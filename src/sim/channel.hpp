@@ -43,6 +43,7 @@
 
 #include "mac/frame.hpp"
 #include "mac/timing.hpp"
+#include "obs/metrics.hpp"
 #include "phy/error_model.hpp"
 #include "phy/link_cache.hpp"
 #include "phy/propagation.hpp"
@@ -136,6 +137,30 @@ class Channel {
   [[nodiscard]] std::size_t live_links() const { return links_.endpoints(); }
   [[nodiscard]] std::size_t link_capacity() const {
     return links_.id_capacity();
+  }
+
+  /// Deposits this channel's work counters (reception-engine traffic, cache
+  /// hit/miss telemetry, arena and link-cache occupancy) into `m`.  Called
+  /// once per run by Network::harvest_metrics; everything it reads is a
+  /// plain member counter, so the hot paths never touch thread-local state.
+  void harvest_metrics(obs::Metrics& m) const;
+
+  /// Delivery RNG draws performed (`rng_.chance` calls — one per receivable
+  /// delivery candidate).  The draw count is part of the determinism
+  /// contract: the batched-vs-scalar diff test pins it equal across both
+  /// reception engines.  Zero in a -DWLAN_OBS=OFF build.
+  [[nodiscard]] std::uint64_t delivery_chance_draws() const {
+    return chance_draws_;
+  }
+  /// Broadcast-plan cache traffic: replays of a still-valid plan vs
+  /// validate-or-rebuild misses.  Zero in a -DWLAN_OBS=OFF build.
+  [[nodiscard]] std::uint64_t broadcast_plan_hits() const { return plan_hits_; }
+  [[nodiscard]] std::uint64_t broadcast_plan_rebuilds() const {
+    return plan_rebuilds_;
+  }
+  /// The channel's frame-success memo (cache telemetry accessors ride it).
+  [[nodiscard]] const phy::FrameSuccessCache& frame_success_cache() const {
+    return frame_success_;
   }
 
  private:
@@ -314,6 +339,17 @@ class Channel {
   std::uint64_t* frame_counter_ = nullptr;
   std::uint64_t tx_count_ = 0;
   std::uint64_t collision_count_ = 0;
+  // Work counters (see harvest_metrics; all stay zero in a -DWLAN_OBS=OFF
+  // build).  Plain members, not obs::count() calls: end-of-air and delivery
+  // are the hottest paths in the simulator and must not pay a TLS lookup.
+  std::uint64_t end_of_air_ = 0;
+  std::uint64_t access_grants_ = 0;
+  std::uint64_t chance_draws_ = 0;
+  std::uint64_t receptions_scalar_ = 0;
+  std::uint64_t receptions_batched_ = 0;
+  std::uint64_t plan_hits_ = 0;
+  std::uint64_t plan_rebuilds_ = 0;
+  std::uint64_t links_recycled_ = 0;
 #ifdef WLAN_SCALAR_RECEPTION
   bool scalar_reception_ = true;
 #else

@@ -24,6 +24,7 @@ EventId EventQueue::schedule(Microseconds at, Callback fn) {
   s.fn = std::move(fn);
   heap_push(Entry{at, next_seq_++, slot, s.gen});
   ++live_;
+  WLAN_OBS_ONLY(++scheduled_; if (live_ > depth_hw_) depth_hw_ = live_;)
   return EventId{slot, s.gen};
 }
 
@@ -71,6 +72,7 @@ void EventQueue::cancel(EventId id) {
   free_slots_.push_back(id.slot_);
   assert(live_ > 0);
   --live_;
+  WLAN_OBS_ONLY(++cancelled_;)
 }
 
 void EventQueue::drop_cancelled() const {

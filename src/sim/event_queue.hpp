@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/small_fn.hpp"
 #include "util/time.hpp"
 
@@ -71,6 +72,14 @@ class EventQueue {
   [[nodiscard]] std::size_t slot_pool_size() const { return slots_.size(); }
   [[nodiscard]] std::size_t heap_entries() const { return heap_.size(); }
 
+  // Work counters (zero in a -DWLAN_OBS=OFF build): total schedules, live
+  // events actually cancelled (generation-mismatch no-ops excluded), and
+  // the live-event depth high-water mark.  Deterministic per (seed,
+  // config); harvested into obs::Metrics once per run.
+  [[nodiscard]] std::uint64_t scheduled() const { return scheduled_; }
+  [[nodiscard]] std::uint64_t cancelled() const { return cancelled_; }
+  [[nodiscard]] std::size_t depth_high_water() const { return depth_hw_; }
+
  private:
   struct Slot {
     Callback fn;
@@ -107,6 +116,9 @@ class EventQueue {
   std::vector<std::uint32_t> free_slots_;
   std::size_t live_ = 0;
   std::uint64_t next_seq_ = 1;
+  std::uint64_t scheduled_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::size_t depth_hw_ = 0;
 };
 
 }  // namespace wlan::sim

@@ -69,6 +69,7 @@ mac::Addr Network::allocate_addr() {
 }
 
 void Network::remove_station(Station* station) {
+  obs::count(obs::Id::kStationsRemoved);
   const mac::Addr addr = station->addr();
   station->shutdown();  // idempotent; also re-cancels any re-armed timer
   station->channel().remove_node(station);
@@ -127,6 +128,27 @@ std::vector<trace::Trace> Network::sniffer_traces() const {
 
 trace::Trace Network::merged_trace() const {
   return trace::merge_traces(sniffer_traces());
+}
+
+void Network::harvest_metrics(obs::Metrics& m) const {
+  using obs::Id;
+  m.add(Id::kEventsExecuted, sim_.events_executed());
+  m.add(Id::kEventsScheduled, sim_.queue().scheduled());
+  m.add(Id::kEventsCancelled, sim_.queue().cancelled());
+  m.note_max(Id::kEventQueueDepthHw, sim_.queue().depth_high_water());
+  m.note_max(Id::kEventQueueSlotPoolHw, sim_.queue().slot_pool_size());
+  for (const auto& ch : channels_) ch->harvest_metrics(m);
+  for (const auto& s : sniffers_) {
+    const SnifferStats& st = s->stats();
+    m.add(Id::kSnifferFramesCaptured, st.captured);
+    m.add(Id::kSnifferFramesMissed,
+          st.missed_range + st.missed_error + st.missed_overload);
+    const phy::FrameSuccessCache& fsc = s->frame_success_cache();
+    m.add(Id::kFrameSuccessHits, fsc.hits());
+    m.add(Id::kFrameSuccessEvals, fsc.evals());
+    m.add(Id::kFrameSuccessSaturated, fsc.saturated());
+    m.add(Id::kFrameSuccessResizes, fsc.resizes());
+  }
 }
 
 }  // namespace wlan::sim

@@ -110,6 +110,12 @@ class Network {
     return sniffers_;
   }
 
+  /// Deposits the whole network's work counters into `m`: event-kernel
+  /// totals, every channel's reception/cache telemetry, and the sniffer
+  /// capture pipeline.  Call once, after the run finishes — counters are
+  /// cumulative, so harvesting twice would double-count the kSum entries.
+  void harvest_metrics(obs::Metrics& m) const;
+
   /// Next free MAC address.  Addresses released by remove_station recycle
   /// (FIFO, so a recycled address rests as long as possible before reuse),
   /// keeping consumption bounded by the concurrent population — the 16-bit

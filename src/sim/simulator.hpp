@@ -43,6 +43,9 @@ class Simulator {
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
 
+  /// Read-only queue access for diagnostics / metrics harvesting.
+  [[nodiscard]] const EventQueue& queue() const { return queue_; }
+
  private:
   EventQueue queue_;
   Microseconds now_{0};

@@ -63,6 +63,11 @@ class Sniffer {
     return records_;
   }
 
+  /// The sniffer's own frame-success memo, for cache-telemetry harvest.
+  [[nodiscard]] const phy::FrameSuccessCache& frame_success_cache() const {
+    return frame_success_;
+  }
+
  private:
   SnifferConfig config_;
   std::uint8_t id_;

@@ -96,7 +96,11 @@ class Arena {
   }
 
   /// Reclaims everything; blocks are kept for reuse.
-  void reset() { rewind(Marker{}); }
+  void reset() {
+    rewind(Marker{});
+    ++resets_;
+    alloc_bytes_since_reset_ = 0;
+  }
 
   // --- introspection (tests, diagnostics) ----------------------------------
   [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
@@ -113,6 +117,17 @@ class Arena {
       total += blocks_[b].size;
     }
     return total + used_;
+  }
+  /// Wholesale reclaims (reset() calls) over this arena's lifetime.  Under
+  /// the channel's busy-period discipline this counts medium-went-idle
+  /// transitions — the "steady state allocates nothing" claim made above is
+  /// checkable as resets() growing while block_count() stays flat.
+  [[nodiscard]] std::uint64_t resets() const { return resets_; }
+  /// High-water mark of bytes handed out between consecutive resets
+  /// (rewound scratch included, so this bounds peak live bytes from above
+  /// and measures allocation traffic per busy period).
+  [[nodiscard]] std::size_t alloc_bytes_high_water() const {
+    return alloc_bytes_hw_;
   }
 
  private:
@@ -162,6 +177,10 @@ class Arena {
     }
     std::byte* p = blocks_[cur_].data.get() + used_;
     used_ += bytes;
+    alloc_bytes_since_reset_ += bytes;
+    if (alloc_bytes_since_reset_ > alloc_bytes_hw_) {
+      alloc_bytes_hw_ = alloc_bytes_since_reset_;
+    }
     unpoison(p, bytes);
     return p;
   }
@@ -170,6 +189,9 @@ class Arena {
   std::vector<Block> blocks_;
   std::size_t cur_ = 0;   ///< block currently being bumped
   std::size_t used_ = 0;  ///< bytes consumed in blocks_[cur_]
+  std::uint64_t resets_ = 0;
+  std::size_t alloc_bytes_since_reset_ = 0;
+  std::size_t alloc_bytes_hw_ = 0;
 };
 
 }  // namespace wlan::util

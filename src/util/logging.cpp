@@ -1,11 +1,16 @@
 #include "util/logging.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cstdarg>
+#include <cstring>
 
 namespace wlan::util {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+/// Relaxed is enough: the level is a filter knob, not a synchronization
+/// point — a worker observing a just-changed level one message late is fine.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -19,17 +24,34 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void logf(LogLevel level, const char* format, ...) {
-  if (level < g_level || g_level == LogLevel::kOff) return;
-  std::fprintf(stderr, "[%s] ", level_name(level));
+  const LogLevel min = g_level.load(std::memory_order_relaxed);
+  if (level < min || min == LogLevel::kOff) return;
+  // Format the whole line into one buffer and emit it with a single
+  // fwrite: the experiment runner's workers log concurrently, and separate
+  // fprintf calls would interleave mid-line (stderr is unbuffered, but
+  // each stdio call is only atomic on its own).  Overlong messages are
+  // truncated with a marker rather than split across writes.
+  char buf[1024];
+  int n = std::snprintf(buf, sizeof buf, "[%s] ", level_name(level));
   va_list args;
   va_start(args, format);
-  std::vfprintf(stderr, format, args);
+  const int m =
+      std::vsnprintf(buf + n, sizeof buf - static_cast<std::size_t>(n) - 1,
+                     format, args);
   va_end(args);
-  std::fputc('\n', stderr);
+  if (m >= 0) n = std::min(n + m, static_cast<int>(sizeof buf) - 2);
+  if (static_cast<std::size_t>(n) >= sizeof buf - 2) {
+    std::memcpy(buf + sizeof buf - 5, "...", 3);
+    n = static_cast<int>(sizeof buf) - 2;
+  }
+  buf[n] = '\n';
+  std::fwrite(buf, 1, static_cast<std::size_t>(n) + 1, stderr);
 }
 
 }  // namespace wlan::util

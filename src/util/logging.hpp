@@ -13,12 +13,15 @@ namespace wlan::util {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Global minimum level; messages below it are dropped.  Not thread-local:
-/// the simulator is single-threaded by design.
+/// Global minimum level; messages below it are dropped.  Atomic (relaxed):
+/// one simulation run is single-threaded, but the experiment runner hosts
+/// many runs on a worker pool, all filtering through this one knob.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
 /// printf-style logging.  Usage: logf(LogLevel::kInfo, "ap %d up", id);
+/// Each message is formatted into a single buffer and emitted with one
+/// fwrite, so concurrent runner workers never interleave mid-line.
 void logf(LogLevel level, const char* format, ...)
     __attribute__((format(printf, 2, 3)));
 

@@ -3,11 +3,29 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace_span.hpp"
+
 namespace wlan::workload {
 
 namespace {
 
 constexpr double kPi = 3.14159265358979323846;
+
+/// Deposits a finished scenario's counters into the run's current metrics
+/// register (no-op outside a MetricsScope).  Called exactly once per run —
+/// the network's counters are cumulative.
+void harvest_scenario_metrics(Scenario& s) {
+  obs::Metrics* m = obs::current();
+  if (m == nullptr) return;
+  s.network().harvest_metrics(*m);
+  if (s.has_churn()) {
+    const ChurnProcess& c = s.churn();
+    m->add(obs::Id::kChurnArrivals, c.arrivals());
+    m->add(obs::Id::kChurnRoams, c.roams());
+    m->add(obs::Id::kChurnMoves, c.moves());
+    m->note_max(obs::Id::kChurnPeakLive, c.peak_live());
+  }
+}
 
 sim::NetworkConfig network_config(const ScenarioConfig& cfg,
                                   SessionKind kind) {
@@ -149,14 +167,20 @@ std::vector<DataSetInfo> Scenario::table1() {
 SessionResult run_session(const ScenarioConfig& config, SessionKind kind) {
   auto scenario = kind == SessionKind::kDay ? Scenario::day(config)
                                             : Scenario::plenary(config);
-  scenario.run();
+  {
+    obs::Span span("session: run " + scenario.name());
+    scenario.run();
+  }
+  harvest_scenario_metrics(scenario);
   // Merge the way the paper did — clock alignment + windowed dedup on the
   // capture alone — rather than via simulator frame ids no real sniffer
   // has.  With one sniffer per channel (the IETF deployment) the two
   // merges agree record-for-record; this path stays honest if a floor plan
   // ever doubles up sniffers on a channel.
+  obs::Span merge_span("session: merge " + scenario.name(), "merge");
   trace::MergeResult merged =
       trace::merge_sniffer_traces(scenario.network().sniffer_traces());
+  obs::count(obs::Id::kTraceRecords, merged.trace.records.size());
   return {scenario.name(), std::move(merged.trace)};
 }
 
@@ -238,7 +262,12 @@ CellResult run_cell(const CellConfig& config) {
     sessions.push_back(std::make_unique<UserSession>(net, spec, rng.next()));
   }
 
-  net.run_for(Microseconds{static_cast<std::int64_t>(config.duration_s * 1e6)});
+  {
+    obs::Span span("cell: run");
+    net.run_for(
+        Microseconds{static_cast<std::int64_t>(config.duration_s * 1e6)});
+  }
+  if (obs::Metrics* m = obs::current()) net.harvest_metrics(*m);
 
   CellResult result;
   const auto warmup_us = static_cast<std::int64_t>(config.warmup_s * 1e6);
@@ -280,6 +309,7 @@ CellResult run_cell(const CellConfig& config) {
   result.medium_collisions = net.channel(config.channel).collisions();
   result.sniffer = sniffers[0]->stats();
   result.duration_s = config.duration_s - config.warmup_s;
+  obs::count(obs::Id::kTraceRecords, result.trace.records.size());
   return result;
 }
 

@@ -13,9 +13,21 @@
 
 #include "core/report.hpp"
 #include "exp/args.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_span.hpp"
 
 namespace wlan::exp {
 namespace {
+
+/// A Metrics register as a comparable vector (catalog order).
+std::vector<std::uint64_t> counter_values(const obs::Metrics& m) {
+  std::vector<std::uint64_t> v;
+  v.reserve(obs::kNumCounters);
+  for (std::size_t c = 0; c < obs::kNumCounters; ++c) {
+    v.push_back(m.value(static_cast<obs::Id>(c)));
+  }
+  return v;
+}
 
 ExperimentSpec tiny_sweep() {
   ExperimentSpec spec;
@@ -78,6 +90,31 @@ TEST(RunnerDeterminismTest, OneThreadAndManyThreadsAreByteIdentical) {
   EXPECT_EQ(slurp(dir1 + "/determinism_manifest.json"),
             slurp(dir4 + "/determinism_manifest.json"));
   EXPECT_FALSE(slurp(dir1 + "/determinism_manifest.csv").empty());
+
+  // The work-counter snapshots obey the same contract: every per-run
+  // register, the aggregate, and the files on disk are byte-identical for
+  // any thread count.
+  ASSERT_EQ(r1.run_metrics.size(), r4.run_metrics.size());
+  for (std::size_t i = 0; i < r1.run_metrics.size(); ++i) {
+    EXPECT_EQ(counter_values(r1.run_metrics[i].metrics),
+              counter_values(r4.run_metrics[i].metrics)) << "run " << i;
+  }
+  EXPECT_EQ(counter_values(r1.metrics), counter_values(r4.metrics));
+  EXPECT_EQ(slurp(dir1 + "/determinism_metrics.csv"),
+            slurp(dir4 + "/determinism_metrics.csv"));
+  EXPECT_EQ(slurp(dir1 + "/determinism_metrics.json"),
+            slurp(dir4 + "/determinism_metrics.json"));
+  EXPECT_FALSE(slurp(dir1 + "/determinism_metrics.csv").empty());
+#if WLAN_OBS_ENABLED
+  // Compiled-in counters must actually count: a 5-second 4-run sweep
+  // dispatches events, transmits frames, and draws delivery chances.
+  EXPECT_EQ(r1.metrics.value(obs::Id::kRuns), 4u);
+  EXPECT_GT(r1.metrics.value(obs::Id::kEventsExecuted), 0u);
+  EXPECT_GT(r1.metrics.value(obs::Id::kTransmissions), 0u);
+  EXPECT_GT(r1.metrics.value(obs::Id::kDeliveryChanceDraws), 0u);
+  EXPECT_GT(r1.metrics.value(obs::Id::kFrameSuccessEvals), 0u);
+  EXPECT_GT(r1.metrics.value(obs::Id::kEventQueueDepthHw), 0u);
+#endif
 }
 
 TEST(RunnerDeterminismTest, OnlyRunReproducesASingleGridPointExactly) {
@@ -89,6 +126,13 @@ TEST(RunnerDeterminismTest, OnlyRunReproducesASingleGridPointExactly) {
   ASSERT_EQ(one.runs.size(), 1u);
   EXPECT_EQ(one.runs[0].run_index, 2u);
   EXPECT_EQ(manifest_row(one.runs[0], false), manifest_row(full.runs[2], false));
+
+  // The replay's counter snapshot is the full-grid row, value for value.
+  ASSERT_EQ(one.run_metrics.size(), 1u);
+  EXPECT_EQ(one.run_metrics[0].run_index, 2u);
+  EXPECT_EQ(one.run_metrics[0].seed, full.run_metrics[2].seed);
+  EXPECT_EQ(counter_values(one.run_metrics[0].metrics),
+            counter_values(full.run_metrics[2].metrics));
 
   RunnerOptions bad;
   bad.only_run = 99;
@@ -140,6 +184,19 @@ TEST(RunnerDeterminismTest, ChurnScenarioIsThreadCountInvariantByteForByte) {
             slurp(dir4 + "/churn_det_manifest.json"));
   EXPECT_FALSE(slurp(dir1 + "/churn_det_manifest.csv").empty());
 
+  // Churn lifecycle counters are schedule-free too.
+  EXPECT_EQ(slurp(dir1 + "/churn_det_metrics.csv"),
+            slurp(dir4 + "/churn_det_metrics.csv"));
+  EXPECT_EQ(counter_values(r1.metrics), counter_values(r4.metrics));
+#if WLAN_OBS_ENABLED
+  // A brisk-turnover day session must exercise the whole lifecycle:
+  // arrivals, dwell-out removals, and deferred link-id recycling.
+  EXPECT_GT(r1.metrics.value(obs::Id::kChurnArrivals), 0u);
+  EXPECT_GT(r1.metrics.value(obs::Id::kStationsRemoved), 0u);
+  EXPECT_GT(r1.metrics.value(obs::Id::kLinkIdsRecycled), 0u);
+  EXPECT_GT(r1.metrics.value(obs::Id::kChurnPeakLive), 0u);
+#endif
+
   // Churn arms at the same load and repeat are seed-paired (common random
   // numbers): same derived seed, different churn treatment.
   const auto runs = expand(churn_sweep());
@@ -188,6 +245,30 @@ TEST(RunnerDeterminismTest, ScalarAndBatchedReceptionAreByteIdentical) {
             core::render_figure(rs.figures.fig06_throughput_goodput(1)));
   EXPECT_EQ(core::render_figure(rb.figures.fig08_busytime_share(1)),
             core::render_figure(rs.figures.fig08_busytime_share(1)));
+
+#if WLAN_OBS_ENABLED
+  // The counters tell the same story from the work side.  The RNG contract
+  // (one chance() per receivable candidate, in node order) makes the
+  // delivery draw count engine-invariant; the reception totals land in
+  // the per-engine counter of whichever path ran; and the batched engine's
+  // broadcast-plan reuse means it can only *save* full frame-success
+  // evaluations, never add any.
+  const obs::Metrics& mb = rb.metrics;
+  const obs::Metrics& ms = rs.metrics;
+  EXPECT_EQ(mb.value(obs::Id::kDeliveryChanceDraws),
+            ms.value(obs::Id::kDeliveryChanceDraws));
+  EXPECT_EQ(mb.value(obs::Id::kEventsExecuted),
+            ms.value(obs::Id::kEventsExecuted));
+  EXPECT_EQ(mb.value(obs::Id::kTransmissions),
+            ms.value(obs::Id::kTransmissions));
+  EXPECT_EQ(ms.value(obs::Id::kReceptionsBatched), 0u);
+  EXPECT_EQ(mb.value(obs::Id::kReceptionsScalar), 0u);
+  EXPECT_EQ(mb.value(obs::Id::kReceptionsBatched),
+            ms.value(obs::Id::kReceptionsScalar));
+  EXPECT_GT(mb.value(obs::Id::kReceptionsBatched), 0u);
+  EXPECT_LE(mb.value(obs::Id::kFrameSuccessEvals),
+            ms.value(obs::Id::kFrameSuccessEvals));
+#endif
 }
 
 TEST(RunnerDeterminismTest, ScalarAndBatchedAgreeOnAChurnGridPoint) {
@@ -206,6 +287,40 @@ TEST(RunnerDeterminismTest, ScalarAndBatchedAgreeOnAChurnGridPoint) {
   ASSERT_EQ(rb.runs.size(), 1u);
   ASSERT_EQ(rs.runs.size(), 1u);
   EXPECT_EQ(manifest_row(rb.runs[0], false), manifest_row(rs.runs[0], false));
+}
+
+// The observability invariant from the other side: turning span tracing ON
+// must not change a byte of any figure, manifest, or counter snapshot —
+// tracing is wall-clock profiling, strictly out-of-band of the simulation.
+// (The compile-time half of the invariant — a -DWLAN_OBS=OFF build emits
+// the same figure/manifest bytes — is checked by
+// scripts/obs_killswitch_check.sh, which needs a second build tree.)
+TEST(RunnerDeterminismTest, EnablingTracingChangesNoOutputByte) {
+  const std::string dir_off = ::testing::TempDir() + "exp_trace_off";
+  const std::string dir_on = ::testing::TempDir() + "exp_trace_on";
+  const auto off = run_with_threads(2, dir_off);
+
+  obs::TraceLog::instance().enable();
+  const auto on = run_with_threads(2, dir_on);
+#if WLAN_OBS_ENABLED
+  const std::string trace_path = ::testing::TempDir() + "exp_trace.json";
+  EXPECT_TRUE(obs::TraceLog::instance().write(trace_path));
+  const std::string trace = slurp(trace_path);
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"run: cell #0 seed"), std::string::npos);
+#endif
+  obs::TraceLog::instance().reset();  // don't leak tracing into other tests
+
+  EXPECT_EQ(core::render_figure(off.figures.fig06_throughput_goodput(1)),
+            core::render_figure(on.figures.fig06_throughput_goodput(1)));
+  EXPECT_EQ(slurp(dir_off + "/determinism_manifest.csv"),
+            slurp(dir_on + "/determinism_manifest.csv"));
+  EXPECT_EQ(slurp(dir_off + "/determinism_manifest.json"),
+            slurp(dir_on + "/determinism_manifest.json"));
+  EXPECT_EQ(slurp(dir_off + "/determinism_metrics.csv"),
+            slurp(dir_on + "/determinism_metrics.csv"));
+  EXPECT_EQ(slurp(dir_off + "/determinism_metrics.json"),
+            slurp(dir_on + "/determinism_metrics.json"));
 }
 
 TEST(RunnerDeterminismTest, UnknownScenarioThrowsOnTheCallingThread) {
