@@ -35,7 +35,7 @@ std::uint64_t fringe_delivered(std::uint32_t threshold) {
   sc.position = {10 + std::pow(10.0, (15.0 - 40.0 + 96.0 - target) / 40.0), 10, 0};
   sc.seed = 5;
   sc.frag_threshold = threshold;
-  sc.rate.policy = rate::Policy::kFixed11;
+  sc.rate.policy = "fixed11";
   sc.queue_limit = 256;
   auto& sta = net.add_station(6, sc);
   for (int i = 0; i < 120; ++i) {

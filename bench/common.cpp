@@ -17,7 +17,7 @@ exp::ExperimentSpec standard_spec(const std::string& name,
   spec.seeds_per_point = opt.seeds_per_point;
   spec.duration_s = opt.duration_s;
   spec.rtscts_fractions = {opt.rtscts_fraction};
-  spec.rate_policies = {std::string(exp::policy_key(opt.rate.policy))};
+  spec.rate_policies = {opt.rate.policy};
   // Radios use the paper's Table 2 contention profile (10 us slots,
   // CW 31..255) — the values the paper attributes to the venue hardware;
   // the ablation_timing_profile bench compares against standard 802.11b.

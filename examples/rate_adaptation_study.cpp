@@ -13,8 +13,11 @@
 #include <cstdlib>
 #include <vector>
 
+#include <string>
+
 #include "core/analyzer.hpp"
 #include "core/utilization.hpp"
+#include "rate/policy_registry.hpp"
 #include "util/ascii_chart.hpp"
 #include "workload/scenario.hpp"
 
@@ -22,9 +25,8 @@ int main(int argc, char** argv) {
   using namespace wlan;
 
   const int users = argc > 1 ? std::atoi(argv[1]) : 40;
-  const std::vector<rate::Policy> policies = {
-      rate::Policy::kArf, rate::Policy::kAarf, rate::Policy::kSnrThreshold,
-      rate::Policy::kFixed11};
+  const std::vector<std::string> policies = {"arf", "aarf", "snr", "minstrel",
+                                             "fixed11"};
 
   std::printf("Congested cell, %d users, one channel; sweeping rate policy.\n\n",
               users);
@@ -32,7 +34,7 @@ int main(int argc, char** argv) {
   rows.push_back({"Policy", "Utilization %", "Throughput Mbps", "Goodput Mbps",
                   "1Mbps busy-time s", "11Mbps busy-time s"});
 
-  for (rate::Policy policy : policies) {
+  for (const std::string& policy : policies) {
     workload::CellConfig cell;
     cell.seed = 1234;
     cell.num_users = users;
@@ -59,7 +61,8 @@ int main(int argc, char** argv) {
       bt1.add(s.cbt_us_by_rate[phy::rate_index(phy::Rate::kR1)] / 1e6);
       bt11.add(s.cbt_us_by_rate[phy::rate_index(phy::Rate::kR11)] / 1e6);
     }
-    rows.push_back({std::string(rate::policy_name(policy)),
+    rows.push_back({std::string(
+                        rate::PolicyRegistry::instance().display_name(policy)),
                     util::fmt(util_acc.mean()), util::fmt(thr.mean()),
                     util::fmt(good.mean()), util::fmt(bt1.mean()),
                     util::fmt(bt11.mean())});

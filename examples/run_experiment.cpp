@@ -15,6 +15,7 @@
 #include "exp/args.hpp"
 #include "exp/registry.hpp"
 #include "exp/runner.hpp"
+#include "rate/policy_registry.hpp"
 #include "util/ascii_chart.hpp"
 
 int main(int argc, char** argv) {
@@ -28,7 +29,9 @@ int main(int argc, char** argv) {
       std::printf("  %s\n", name.c_str());
     }
     std::printf("rate policies: ");
-    for (const auto& key : exp::policy_keys()) std::printf("%s ", key.c_str());
+    for (const auto& key : rate::PolicyRegistry::instance().keys()) {
+      std::printf("%s ", key.c_str());
+    }
     std::printf("\ntiming profiles: ");
     for (const auto& key : exp::timing_keys()) std::printf("%s ", key.c_str());
     std::printf("\n");

@@ -54,6 +54,24 @@ if os.path.exists("build/smoke/trace.json"):
 print(f"smoke: OK ({len(m['runs'])} run snapshots)")
 EOF
 
+# Rate-policy plugin smoke: a MinstrelLite sweep through the 2-thread
+# runner.  Asserts the registry key survives the spec -> runner -> manifest
+# round trip (rate_policy is manifest column 5) — a broken PolicyRegistry
+# wiring or a policy name drift fails here before any figure regenerates.
+echo "smoke: minstrel sweep on the 2-thread runner"
+./build/example_run_experiment cell --threads 2 --seeds 1 --duration 3 \
+    --rate-policies minstrel --quiet --out-dir build/smoke_minstrel \
+    > /dev/null
+test -s build/smoke_minstrel/example_cell_manifest.csv
+policies=$(tail -n +2 build/smoke_minstrel/example_cell_manifest.csv \
+    | cut -d, -f5 | sort -u)
+if [ "$policies" != "minstrel" ]; then
+    echo "smoke: FAIL — manifest rate_policy column is '$policies'," \
+         "expected 'minstrel'" >&2
+    exit 1
+fi
+echo "smoke: OK (minstrel manifest rows)"
+
 # Streaming trace pipeline: a 2-sniffer sim run written to pcap, clock-
 # corrected + merged + analyzed twice (streaming and in-memory), and the
 # figure CSVs diffed byte-for-byte inside the selftest.

@@ -73,6 +73,8 @@ void FigureAccumulator::merge(const FigureAccumulator& other) {
     tx_by_category_[c].merge(other.tx_by_category_[c]);
     acceptance_[c].merge(other.acceptance_[c]);
   }
+  queue_delay_.merge(other.queue_delay_);
+  service_delay_.merge(other.service_delay_);
   for (const auto& [addr, st] : other.senders_) {
     SenderStats& agg = senders_[addr];
     agg.data_tx += st.data_tx;

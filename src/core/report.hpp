@@ -17,6 +17,7 @@
 #include "core/utilization.hpp"
 #include "util/ascii_chart.hpp"
 #include "util/csv.hpp"
+#include "util/log_histogram.hpp"
 
 namespace wlan::core {
 
@@ -57,6 +58,15 @@ class FigureAccumulator {
   /// Folds per-sender tallies (call once per capture, after its seconds).
   void add_senders(const std::unordered_map<mac::Addr, SenderStats>& senders);
 
+  /// Folds one run's per-frame delay components (simulator ground truth,
+  /// microseconds; see workload::SessionResult).  Integer histograms, so
+  /// percentile readouts stay deterministic across merges in grid order.
+  void add_delays(const util::LogHistogram& queue,
+                  const util::LogHistogram& service) {
+    queue_delay_.merge(queue);
+    service_delay_.merge(service);
+  }
+
   /// Folds another accumulator into this one (parallel sweep reduction).
   /// Bit-exact reproducibility requires merging partials in a fixed order —
   /// the exp runner merges per-run accumulators in grid-index order so the
@@ -86,6 +96,16 @@ class FigureAccumulator {
   /// Mean utilization-binned throughput peak (for knee reporting).
   [[nodiscard]] double knee_utilization() const;
 
+  /// Per-frame delay-component distributions (paper §6): queueing wait and
+  /// head-of-line service time, microseconds.  Empty unless add_delays fed
+  /// simulator ground truth in.
+  [[nodiscard]] const util::LogHistogram& queue_delay() const {
+    return queue_delay_;
+  }
+  [[nodiscard]] const util::LogHistogram& service_delay() const {
+    return service_delay_;
+  }
+
  private:
   std::size_t seconds_ = 0;
 
@@ -98,6 +118,9 @@ class FigureAccumulator {
   std::array<UtilizationBinner, phy::kNumRates> first_acked_;
   std::array<UtilizationBinner, kNumCategories> tx_by_category_;
   std::array<UtilizationBinner, kNumCategories> acceptance_;
+
+  util::LogHistogram queue_delay_;
+  util::LogHistogram service_delay_;
 
   std::unordered_map<mac::Addr, SenderStats> senders_;
 };

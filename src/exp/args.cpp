@@ -37,6 +37,9 @@ void dump_trace_at_exit() {
                "  --only RUN      replay one grid run (a manifest 'run' index)\n"
                "  --churn LIST    comma-separated churn-rate axis (population\n"
                "                  turnovers/min; churn scenarios only)\n"
+               "  --rate-policies LIST\n"
+               "                  comma-separated rate-policy axis (registry\n"
+               "                  keys, e.g. arf,minstrel; see --list)\n"
                "  --trace-out F   dump Chrome trace-event JSON (wall-clock\n"
                "                  spans; open in Perfetto) to F at exit\n"
                "  --quiet         no per-run progress on stderr\n"
@@ -108,6 +111,20 @@ BenchArgs parse_bench_args(int argc, char** argv, std::string_view what,
         args.churn_rates.push_back(parsed);
         pos = comma + 1;
       }
+    } else if (flag == "--rate-policies") {
+      const std::string list = value();
+      std::size_t pos = 0;
+      while (pos <= list.size()) {
+        const std::size_t comma = std::min(list.find(',', pos), list.size());
+        const std::string tok = list.substr(pos, comma - pos);
+        if (tok.empty()) {
+          std::fprintf(stderr,
+                       "--rate-policies wants comma-separated policy keys\n");
+          usage(what, 2);
+        }
+        args.rate_policies.push_back(tok);
+        pos = comma + 1;
+      }
     } else if (flag == "--trace-out") {
       args.trace_out = value();
 #if WLAN_OBS_ENABLED
@@ -136,6 +153,7 @@ void apply_args(const BenchArgs& args, ExperimentSpec& spec) {
   if (args.seeds > 0) spec.seeds_per_point = args.seeds;
   if (args.duration_s > 0.0) spec.duration_s = args.duration_s;
   if (!args.churn_rates.empty()) spec.churn_rates = args.churn_rates;
+  if (!args.rate_policies.empty()) spec.rate_policies = args.rate_policies;
 }
 
 RunnerOptions runner_options(const BenchArgs& args) {

@@ -23,6 +23,10 @@ struct BenchArgs {
   /// --churn values: population turnovers per minute for the churn-rate
   /// axis (empty = keep the spec's default single-value axis).
   std::vector<double> churn_rates;
+  /// --rate-policies values: rate::PolicyRegistry keys for the
+  /// rate-adaptation axis (empty = keep the spec's default; unknown keys
+  /// are rejected when the spec expands).
+  std::vector<std::string> rate_policies;
   /// --trace-out FILE: buffer obs::Span records during the sweep and dump
   /// them as Chrome trace-event JSON (Perfetto-viewable) at process exit.
   /// Empty = tracing stays disabled and costs nothing.

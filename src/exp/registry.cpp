@@ -9,9 +9,8 @@ namespace wlan::exp {
 
 namespace {
 
-/// Single-cell fixture: the workhorse of the figure sweeps.
-RunOutput run_cell_scenario(const RunSpec& run) {
-  const workload::CellResult result = workload::run_cell(run.cell);
+/// Shared CellResult -> RunOutput reduction.
+RunOutput reduce_cell_result(const workload::CellResult& result) {
   RunOutput out;
   out.analysis = core::TraceAnalyzer{}.analyze(result.trace);
   out.unrecorded = core::estimate_unrecorded(result.trace).totals;
@@ -19,7 +18,20 @@ RunOutput run_cell_scenario(const RunSpec& run) {
   out.medium_collisions = result.medium_collisions;
   out.sniffer_offered = result.sniffer.offered;
   out.sniffer_captured = result.sniffer.captured;
+  out.queue_delay = result.queue_delay;
+  out.service_delay = result.service_delay;
   return out;
+}
+
+/// Single-cell fixture: the workhorse of the figure sweeps.
+RunOutput run_cell_scenario(const RunSpec& run) {
+  return reduce_cell_result(workload::run_cell(run.cell));
+}
+
+/// Hidden-terminal fixture (see workload::run_hidden_terminal): two user
+/// wings on disjoint carrier-sense masks sharing one AP.
+RunOutput run_hidden_terminal_scenario(const RunSpec& run) {
+  return reduce_cell_result(workload::run_hidden_terminal(run.cell));
 }
 
 /// IETF sessions.  The load axis maps onto the session knobs: `users` is
@@ -49,6 +61,8 @@ RunOutput run_session_scenario(const RunSpec& run, workload::SessionKind kind,
   RunOutput out;
   out.analysis = core::TraceAnalyzer{}.analyze(result.trace);
   out.unrecorded = core::estimate_unrecorded(result.trace).totals;
+  out.queue_delay = result.queue_delay;
+  out.service_delay = result.service_delay;
   return out;
 }
 
@@ -56,6 +70,7 @@ RunOutput run_session_scenario(const RunSpec& run, workload::SessionKind kind,
 
 ScenarioRegistry::ScenarioRegistry() {
   add("cell", run_cell_scenario);
+  add("hidden-terminal", run_hidden_terminal_scenario);
   add("ietf-day", [](const RunSpec& run) {
     return run_session_scenario(run, workload::SessionKind::kDay);
   });
@@ -100,31 +115,6 @@ RunOutput ScenarioRegistry::run(const std::string& name,
                                 name + "\"");
   }
   return it->second(run);
-}
-
-rate::Policy parse_policy(std::string_view key) {
-  if (key == "arf") return rate::Policy::kArf;
-  if (key == "aarf") return rate::Policy::kAarf;
-  if (key == "snr") return rate::Policy::kSnrThreshold;
-  if (key == "fixed1") return rate::Policy::kFixed1;
-  if (key == "fixed11") return rate::Policy::kFixed11;
-  throw std::invalid_argument("unknown rate policy \"" + std::string(key) +
-                              "\" (known: arf aarf snr fixed1 fixed11)");
-}
-
-std::string_view policy_key(rate::Policy policy) {
-  switch (policy) {
-    case rate::Policy::kArf: return "arf";
-    case rate::Policy::kAarf: return "aarf";
-    case rate::Policy::kSnrThreshold: return "snr";
-    case rate::Policy::kFixed1: return "fixed1";
-    case rate::Policy::kFixed11: return "fixed11";
-  }
-  return "?";
-}
-
-std::vector<std::string> policy_keys() {
-  return {"arf", "aarf", "snr", "fixed1", "fixed11"};
 }
 
 mac::TimingProfile parse_timing(std::string_view key) {

@@ -1,5 +1,6 @@
-// String-keyed registries: scenarios runnable by name, and the name maps
-// for the rate-policy and timing-profile grid axes.
+// String-keyed registries: scenarios runnable by name, and the name map
+// for the timing-profile grid axis.  (The rate-policy axis needs no map
+// here: spec strings are rate::PolicyRegistry keys, end to end.)
 //
 // The scenario registry is how benches and tools select what a RunSpec
 // executes at runtime ("cell", "ietf-day", "ietf-plenary") and how new
@@ -22,7 +23,7 @@
 #include "core/unrecorded.hpp"
 #include "exp/spec.hpp"
 #include "mac/timing.hpp"
-#include "rate/rate_controller.hpp"
+#include "util/log_histogram.hpp"
 
 namespace wlan::exp {
 
@@ -37,6 +38,11 @@ struct RunOutput {
   std::uint64_t medium_collisions = 0;
   std::uint64_t sniffer_offered = 0;
   std::uint64_t sniffer_captured = 0;
+  /// Per-frame delay components from the simulator (paper §6): queueing
+  /// wait and head-of-line service time, microseconds.  Empty when a
+  /// scenario does not report them.
+  util::LogHistogram queue_delay;
+  util::LogHistogram service_delay;
 };
 
 using ScenarioFn = std::function<RunOutput(const RunSpec&)>;
@@ -62,12 +68,9 @@ class ScenarioRegistry {
 };
 
 // --- axis name maps --------------------------------------------------------
-// Lower-case stable keys used on spec axes, CLI flags and manifest rows
-// (rate::policy_name's display strings are uppercase and stay for tables).
-
-[[nodiscard]] rate::Policy parse_policy(std::string_view key);  ///< throws
-[[nodiscard]] std::string_view policy_key(rate::Policy policy);
-[[nodiscard]] std::vector<std::string> policy_keys();
+// Lower-case stable keys used on spec axes, CLI flags and manifest rows.
+// Rate policies already live behind string keys (rate::PolicyRegistry);
+// only the timing-profile enum still needs a map here.
 
 [[nodiscard]] mac::TimingProfile parse_timing(std::string_view key);  ///< throws
 [[nodiscard]] std::string_view timing_key(mac::TimingProfile profile);

@@ -129,6 +129,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
         const RunOutput out = registry.run(run.scenario, run);
         wall_ms = ms_since(run_t0);
         slot.figures.add(out.analysis);
+        slot.figures.add_delays(out.queue_delay, out.service_delay);
         slot.record = make_record(run, out, wall_ms);
         WLAN_OBS_ONLY(slot.metrics.add(obs::Id::kRuns, 1);)
       } catch (...) {

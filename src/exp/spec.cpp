@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "exp/registry.hpp"
+#include "rate/policy_registry.hpp"
 #include "util/rng.hpp"
 
 namespace wlan::exp {
@@ -33,6 +34,19 @@ std::vector<RunSpec> expand(const ExperimentSpec& spec) {
   require_axis(!spec.churn_rates.empty(), "churn_rates");
   if (spec.seeds_per_point < 1) {
     throw std::invalid_argument("ExperimentSpec: seeds_per_point must be >= 1");
+  }
+  // Validate axis names up front: one bad key fails the whole expansion
+  // before any run starts, with the registry's own known-keys message.
+  for (const std::string& policy : spec.rate_policies) {
+    if (!rate::PolicyRegistry::instance().contains(policy)) {
+      std::string known;
+      for (const std::string& k : rate::PolicyRegistry::instance().keys()) {
+        if (!known.empty()) known += ' ';
+        known += k;
+      }
+      throw std::invalid_argument("ExperimentSpec: unknown rate policy \"" +
+                                  policy + "\" (known: " + known + ")");
+    }
   }
 
   std::vector<RunSpec> runs;
@@ -73,7 +87,7 @@ std::vector<RunSpec> expand(const ExperimentSpec& spec) {
                 run.cell.seed = run.seed;
                 run.cell.duration_s = spec.duration_s;
                 run.cell.rtscts_fraction = rtscts;
-                run.cell.rate.policy = parse_policy(policy);
+                run.cell.rate.policy = policy;
                 run.cell.timing = parse_timing(timing);
                 run.cell.auto_power_margin_db = margin;
                 run.cell.num_users = load.users;

@@ -102,6 +102,12 @@ namespace wlan::obs {
   /* --- trace: sniffer capture pipeline ------------------------------ */ \
   X(kSnifferFramesCaptured, "trace.sniffer_frames_captured", Kind::kSum)    \
   X(kSnifferFramesMissed, "trace.sniffer_frames_missed", Kind::kSum)        \
+  /* --- rate: adaptation policy layer -------------------------------- */ \
+  X(kRatePlans, "rate.plans", Kind::kSum)                                   \
+  X(kRateOutcomes, "rate.outcomes", Kind::kSum)                             \
+  X(kRateProbePlans, "rate.probe_plans", Kind::kSum)                        \
+  X(kRateWindowRolls, "rate.window_rolls", Kind::kSum)                      \
+  X(kRateControllersCreated, "rate.controllers_created", Kind::kSum)        \
   /* --- exp: run bookkeeping ----------------------------------------- */ \
   X(kRuns, "exp.runs", Kind::kSum)                                          \
   X(kTraceRecords, "exp.trace_records", Kind::kSum)

@@ -4,21 +4,21 @@
 
 namespace wlan::rate {
 
-phy::Rate Aarf::rate_for_next(double /*snr_hint_db*/) { return rate_; }
+TxPlan Aarf::plan(const TxContext& /*ctx*/) { return TxPlan::single(rate_); }
 
-void Aarf::on_success() {
-  failures_ = 0;
-  probing_ = false;
-  if (++successes_ >= up_threshold_) {
-    successes_ = 0;
-    if (rate_ != phy::Rate::kR11) {
-      rate_ = phy::next_higher(rate_);
-      probing_ = true;
+void Aarf::on_tx_outcome(const TxFeedback& fb) {
+  if (fb.success) {
+    failures_ = 0;
+    probing_ = false;
+    if (++successes_ >= up_threshold_) {
+      successes_ = 0;
+      if (rate_ != phy::Rate::kR11) {
+        rate_ = phy::next_higher(rate_);
+        probing_ = true;
+      }
     }
+    return;
   }
-}
-
-void Aarf::on_failure() {
   successes_ = 0;
   if (probing_) {
     probing_ = false;

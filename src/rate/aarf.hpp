@@ -13,9 +13,8 @@ class Aarf final : public RateController {
       : base_up_(base_up_threshold), up_threshold_(base_up_threshold),
         down_threshold_(down_threshold) {}
 
-  phy::Rate rate_for_next(double snr_hint_db) override;
-  void on_success() override;
-  void on_failure() override;
+  TxPlan plan(const TxContext& ctx) override;
+  void on_tx_outcome(const TxFeedback& fb) override;
   [[nodiscard]] std::string_view name() const override { return "AARF"; }
 
  private:

@@ -2,21 +2,21 @@
 
 namespace wlan::rate {
 
-phy::Rate Arf::rate_for_next(double /*snr_hint_db*/) { return rate_; }
+TxPlan Arf::plan(const TxContext& /*ctx*/) { return TxPlan::single(rate_); }
 
-void Arf::on_success() {
-  failures_ = 0;
-  probing_ = false;
-  if (++successes_ >= up_threshold_) {
-    successes_ = 0;
-    if (rate_ != phy::Rate::kR11) {
-      rate_ = phy::next_higher(rate_);
-      probing_ = true;  // first frame at the new rate is a probe
+void Arf::on_tx_outcome(const TxFeedback& fb) {
+  if (fb.success) {
+    failures_ = 0;
+    probing_ = false;
+    if (++successes_ >= up_threshold_) {
+      successes_ = 0;
+      if (rate_ != phy::Rate::kR11) {
+        rate_ = phy::next_higher(rate_);
+        probing_ = true;  // first frame at the new rate is a probe
+      }
     }
+    return;
   }
-}
-
-void Arf::on_failure() {
   successes_ = 0;
   // A failed probe falls straight back down (classic ARF).
   if (probing_) {

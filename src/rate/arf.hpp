@@ -1,6 +1,8 @@
 // Auto Rate Fallback (Kamerman & Monteban, WaveLAN-II) — the "generic ARF"
 // the paper describes: drop the rate after consecutive failures, probe one
-// rate up after a train of successes.
+// rate up after a train of successes.  Plans are single-attempt, so the MAC
+// re-plans (and ARF re-decides) before every retry, exactly the classic
+// per-attempt behavior.
 #pragma once
 
 #include "rate/rate_controller.hpp"
@@ -12,9 +14,8 @@ class Arf final : public RateController {
   Arf(std::uint32_t up_threshold, std::uint32_t down_threshold)
       : up_threshold_(up_threshold), down_threshold_(down_threshold) {}
 
-  phy::Rate rate_for_next(double snr_hint_db) override;
-  void on_success() override;
-  void on_failure() override;
+  TxPlan plan(const TxContext& ctx) override;
+  void on_tx_outcome(const TxFeedback& fb) override;
   [[nodiscard]] std::string_view name() const override { return "ARF"; }
 
   [[nodiscard]] phy::Rate current() const { return rate_; }

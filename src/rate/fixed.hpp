@@ -12,9 +12,10 @@ class Fixed final : public RateController {
  public:
   explicit Fixed(phy::Rate rate) : rate_(rate) {}
 
-  phy::Rate rate_for_next(double /*snr_hint_db*/) override { return rate_; }
-  void on_success() override {}
-  void on_failure() override {}
+  TxPlan plan(const TxContext& /*ctx*/) override {
+    return TxPlan::single(rate_);
+  }
+  void on_tx_outcome(const TxFeedback& /*fb*/) override {}
   [[nodiscard]] std::string_view name() const override { return "FIXED"; }
 
  private:

@@ -1,0 +1,91 @@
+#include "rate/policy_registry.hpp"
+
+#include <stdexcept>
+
+#include "rate/aarf.hpp"
+#include "rate/arf.hpp"
+#include "rate/fixed.hpp"
+#include "rate/minstrel_lite.hpp"
+#include "rate/snr_threshold.hpp"
+
+namespace wlan::rate {
+
+PolicyRegistry& PolicyRegistry::instance() {
+  static PolicyRegistry registry;
+  return registry;
+}
+
+PolicyRegistry::PolicyRegistry() {
+  add("arf", "ARF", [](const ControllerConfig& c, std::uint64_t) {
+    return std::make_unique<Arf>(c.up_threshold, c.down_threshold);
+  });
+  add("aarf", "AARF", [](const ControllerConfig& c, std::uint64_t) {
+    return std::make_unique<Aarf>(c.up_threshold, c.down_threshold);
+  });
+  add("snr", "SNR", [](const ControllerConfig& c, std::uint64_t) {
+    return std::make_unique<SnrThreshold>(c.snr_target, c.snr_frame_bytes);
+  });
+  add("fixed1", "FIXED-1", [](const ControllerConfig&, std::uint64_t) {
+    return std::make_unique<Fixed>(phy::Rate::kR1);
+  });
+  add("fixed11", "FIXED-11", [](const ControllerConfig&, std::uint64_t) {
+    return std::make_unique<Fixed>(phy::Rate::kR11);
+  });
+  add("minstrel", "MINSTREL", [](const ControllerConfig& c, std::uint64_t s) {
+    return std::make_unique<MinstrelLite>(c, s);
+  });
+}
+
+void PolicyRegistry::add(std::string key, std::string display_name,
+                         Factory factory) {
+  if (find(key) != nullptr) {
+    throw std::invalid_argument("PolicyRegistry: duplicate policy key \"" +
+                                key + "\"");
+  }
+  entries_.push_back({std::move(key), std::move(display_name),
+                      std::move(factory)});
+}
+
+bool PolicyRegistry::contains(std::string_view key) const {
+  return find(key) != nullptr;
+}
+
+std::vector<std::string> PolicyRegistry::keys() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.key);
+  return out;
+}
+
+std::string_view PolicyRegistry::display_name(std::string_view key) const {
+  const Entry* e = find(key);
+  if (e == nullptr) {
+    throw std::invalid_argument("PolicyRegistry: unknown policy \"" +
+                                std::string(key) + "\"");
+  }
+  return e->display;
+}
+
+std::unique_ptr<RateController> PolicyRegistry::make(
+    const ControllerConfig& config, std::uint64_t stream_seed) const {
+  const Entry* e = find(config.policy);
+  if (e == nullptr) {
+    std::string known;
+    for (const Entry& entry : entries_) {
+      if (!known.empty()) known += ", ";
+      known += entry.key;
+    }
+    throw std::invalid_argument("PolicyRegistry: unknown policy \"" +
+                                config.policy + "\" (known: " + known + ")");
+  }
+  return e->factory(config, stream_seed);
+}
+
+const PolicyRegistry::Entry* PolicyRegistry::find(std::string_view key) const {
+  for (const Entry& e : entries_) {
+    if (e.key == key) return &e;
+  }
+  return nullptr;
+}
+
+}  // namespace wlan::rate

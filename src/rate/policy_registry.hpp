@@ -1,0 +1,65 @@
+// String-keyed factory for rate-adaptation policies.
+//
+// One registry names every policy for the whole stack: stations construct
+// controllers from StationConfig's policy string, exp manifests carry the
+// same keys in their rate_policy column, and CLI flags / sweep axes
+// validate against keys().  Built-ins register in the singleton's
+// constructor; tests and future policy ablations may add() their own —
+// before any concurrent use, like ScenarioRegistry.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rate/rate_controller.hpp"
+
+namespace wlan::rate {
+
+class PolicyRegistry {
+ public:
+  /// Builds one controller instance.  `stream_seed` is a stable per-link
+  /// seed (stations derive it from their own seed and the peer address);
+  /// deterministic policies ignore it, randomized ones (MinstrelLite's
+  /// probe schedule) draw only from it, so runs stay pure functions of
+  /// (seed, config).
+  using Factory = std::function<std::unique_ptr<RateController>(
+      const ControllerConfig& config, std::uint64_t stream_seed)>;
+
+  static PolicyRegistry& instance();
+
+  /// Registers a policy; throws std::invalid_argument on a duplicate key.
+  void add(std::string key, std::string display_name, Factory factory);
+
+  [[nodiscard]] bool contains(std::string_view key) const;
+
+  /// Keys in registration order (built-ins first) — the stable order CLI
+  /// help and sweep axes present.
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+  /// Human-readable name for tables and figure legends ("arf" -> "ARF");
+  /// throws std::invalid_argument for unknown keys.
+  [[nodiscard]] std::string_view display_name(std::string_view key) const;
+
+  /// Constructs a controller for config.policy; throws
+  /// std::invalid_argument for unknown keys, listing the known ones.
+  [[nodiscard]] std::unique_ptr<RateController> make(
+      const ControllerConfig& config, std::uint64_t stream_seed) const;
+
+ private:
+  PolicyRegistry();  // registers the built-in policies
+
+  struct Entry {
+    std::string key;
+    std::string display;
+    Factory factory;
+  };
+
+  [[nodiscard]] const Entry* find(std::string_view key) const;
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace wlan::rate

@@ -11,14 +11,14 @@ SnrThreshold::SnrThreshold(double target, std::uint32_t frame_bytes) {
   }
 }
 
-phy::Rate SnrThreshold::rate_for_next(double snr_hint_db) {
-  if (snr_hint_db > -100.0) last_known_snr_ = snr_hint_db;
+TxPlan SnrThreshold::plan(const TxContext& ctx) {
+  if (ctx.snr_db) last_known_snr_ = *ctx.snr_db;
   // Highest rate whose threshold the SNR clears; 1 Mbps is the floor.
   phy::Rate best = phy::Rate::kR1;
   for (phy::Rate r : phy::kAllRates) {
     if (last_known_snr_ >= thresholds_[phy::rate_index(r)]) best = r;
   }
-  return best;
+  return TxPlan::single(best);
 }
 
 }  // namespace wlan::rate

@@ -17,9 +17,8 @@ class SnrThreshold final : public RateController {
   /// `frame_bytes` frame succeeds with probability >= `target`.
   SnrThreshold(double target, std::uint32_t frame_bytes);
 
-  phy::Rate rate_for_next(double snr_hint_db) override;
-  void on_success() override {}
-  void on_failure() override {}
+  TxPlan plan(const TxContext& ctx) override;
+  void on_tx_outcome(const TxFeedback& /*fb*/) override {}
   [[nodiscard]] std::string_view name() const override { return "SNR"; }
 
   [[nodiscard]] double threshold_db(phy::Rate r) const {

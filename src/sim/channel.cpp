@@ -20,7 +20,11 @@ Channel::Channel(Simulator& sim, const phy::Propagation& prop,
       // returned values (see FrameSuccessCache).
       frame_success_(12, 14),
       noise_mw_(phy::dbm_to_mw(prop.config().noise_floor_dbm)),
-      noise_db_roundtrip_(phy::mw_to_dbm(noise_mw_)) {}
+      noise_db_roundtrip_(phy::mw_to_dbm(noise_mw_)) {
+  // The default mask-1 domain exists from t=0 with the historic zero idle
+  // anchor, so homogeneous runs never take the mid-run creation path.
+  domains_.push_back(ContentionDomain{});
+}
 
 void Channel::FlightTable::push_slot() {
   from_link.emplace_back(phy::LinkBudgetCache::kNoLink);
@@ -31,6 +35,7 @@ void Channel::FlightTable::push_slot() {
   snapshot.emplace_back(nullptr);
   snapshot_len.emplace_back(0);
   on_air_pos.emplace_back(0);
+  sense_mask.emplace_back(1);
   frame.emplace_back();
   from.emplace_back(nullptr);
   on_air_done.emplace_back();
@@ -123,42 +128,62 @@ const MacEntity* Channel::peer(mac::Addr addr) const {
   return it == nullptr ? nullptr : *it;
 }
 
+std::size_t Channel::domain_for(std::uint32_t mask) {
+  for (std::size_t i = 0; i < domains_.size(); ++i) {
+    if (domains_[i].mask == mask) return i;
+  }
+  // First node with this mask: anchor the new domain's idle grid at now and
+  // count the senders already on the air that it can hear.
+  ContentionDomain d;
+  d.mask = mask;
+  d.idle_anchor = sim_.now();
+  for (const std::uint32_t slot : on_air_) {
+    if ((flight_.sense_mask[slot] & mask) != 0) ++d.busy_refs;
+  }
+  domains_.push_back(std::move(d));
+  return domains_.size() - 1;
+}
+
 void Channel::request_access(MacEntity* node, std::uint32_t slots) {
   // A node removed from the channel has its link id severed (see
   // remove_node); letting it contend again would put a kNoLink frame on the
   // air.  Assert in Debug, refuse in Release.
   assert(node->link_id_ != phy::LinkBudgetCache::kNoLink);
   if (node->link_id_ == phy::LinkBudgetCache::kNoLink) return;
-  assert(std::none_of(contenders_.begin(), contenders_.end(),
+  const std::size_t di = domain_for(node->sense_mask());
+  ContentionDomain& d = domains_[di];
+  assert(std::none_of(d.contenders.begin(), d.contenders.end(),
                       [&](const Contender& c) { return c.node == node; }));
   // A station joining mid-idle must still sense a full DIFS before counting
   // slots; on the shared timer that means its countdown starts at the first
   // slot boundary at or after join + DIFS.  The boundary grid begins at
-  // idle_anchor_ + DIFS, so the handicap is (now - idle_anchor_) rounded *up*
+  // idle_anchor + DIFS, so the handicap is (now - idle_anchor) rounded *up*
   // to whole slots.  Rounding down here would let a partial slot count as a
   // full one for the joiner (and a clamped timer could even grant access
   // before DIFS); ceil also keeps every contender's stored count an exact
   // boundary index, so consume_elapsed_slots' uniform whole-slot charge never
   // credits a duplicate slot across a freeze/resume cycle.
   std::uint32_t handicap = 0;
-  if (on_air_.empty()) {
-    const auto since_idle = sim_.now() - idle_anchor_;
+  if (d.busy_refs == 0) {
+    const auto since_idle = sim_.now() - d.idle_anchor;
     if (since_idle > Microseconds{0}) {
       const auto slot = timing_.slot.count();
       handicap =
           static_cast<std::uint32_t>((since_idle.count() + slot - 1) / slot);
     }
   }
-  contenders_.push_back(Contender{node, slots + handicap});
-  if (on_air_.empty()) schedule_access_timer();
+  d.contenders.push_back(Contender{node, slots + handicap});
+  if (d.busy_refs == 0) schedule_access_timer(di);
 }
 
 void Channel::cancel_access(MacEntity* node) {
-  const auto it = std::find_if(contenders_.begin(), contenders_.end(),
+  const std::size_t di = domain_for(node->sense_mask());
+  ContentionDomain& d = domains_[di];
+  const auto it = std::find_if(d.contenders.begin(), d.contenders.end(),
                                [&](const Contender& c) { return c.node == node; });
-  if (it == contenders_.end()) return;
-  contenders_.erase(it);
-  if (on_air_.empty()) schedule_access_timer();
+  if (it == d.contenders.end()) return;
+  d.contenders.erase(it);
+  if (d.busy_refs == 0) schedule_access_timer(di);
 }
 
 void Channel::transmit(MacEntity* from, const mac::Frame& frame,
@@ -168,7 +193,7 @@ void Channel::transmit(MacEntity* from, const mac::Frame& frame,
   // (the dead node's on_air_done is intentionally not invoked).
   assert(from->link_id_ != phy::LinkBudgetCache::kNoLink);
   if (from->link_id_ == phy::LinkBudgetCache::kNoLink) return;
-  const bool was_idle = on_air_.empty();
+  const std::uint32_t sender_mask = from->sense_mask();
   std::uint32_t slot;
   if (free_frames_.empty()) {
     slot = static_cast<std::uint32_t>(flight_.size());
@@ -187,6 +212,7 @@ void Channel::transmit(MacEntity* from, const mac::Frame& frame,
   flight_.power_offset_db[slot] = own_offset;
   flight_.start[slot] = sim_.now();
   flight_.end[slot] = sim_.now() + frame.airtime();
+  flight_.sense_mask[slot] = sender_mask;
   flight_.on_air_done[slot] = std::move(on_air_done);
   // Overlap bookkeeping with everything already on air, in two halves:
   // frames already in flight are snapshotted (arena span, on_air_ order —
@@ -217,11 +243,15 @@ void Channel::transmit(MacEntity* from, const mac::Frame& frame,
   on_air_.push_back(slot);
   ++tx_count_;
 
-  if (was_idle && access_timer_set_) {
-    // Medium went busy before the pending access fired: freeze backoff.
-    sim_.cancel(access_timer_);
-    access_timer_set_ = false;
-    consume_elapsed_slots(sim_.now());
+  // Every domain that can hear the sender goes busy; a domain transitioning
+  // idle->busy with a pending access timer freezes its backoff countdown.
+  for (ContentionDomain& d : domains_) {
+    if ((d.mask & sender_mask) == 0) continue;
+    if (d.busy_refs++ == 0 && d.access_timer_set) {
+      sim_.cancel(d.access_timer);
+      d.access_timer_set = false;
+      consume_elapsed_slots(d, sim_.now());
+    }
   }
 
   // Capture the slot (O(1) end-of-air lookup) plus the queued copy's frame
@@ -230,8 +260,9 @@ void Channel::transmit(MacEntity* from, const mac::Frame& frame,
   sim_.at(flight_.end[slot], [this, slot, id] { on_transmission_end(slot, id); });
 }
 
-void Channel::consume_elapsed_slots(Microseconds busy_start) {
-  const auto countdown_start = idle_anchor_ + timing_.difs;
+void Channel::consume_elapsed_slots(ContentionDomain& d,
+                                    Microseconds busy_start) {
+  const auto countdown_start = d.idle_anchor + timing_.difs;
   if (busy_start <= countdown_start) return;
   // Only whole slot boundaries count; a partial slot is re-waited in full
   // after the busy period, exactly as DCF resumes a frozen countdown.  Every
@@ -240,7 +271,9 @@ void Channel::consume_elapsed_slots(Microseconds busy_start) {
   // fractional slot credited twice.
   const auto elapsed = static_cast<std::uint32_t>(
       (busy_start - countdown_start).count() / timing_.slot.count());
-  for (Contender& c : contenders_) c.slots = c.slots > elapsed ? c.slots - elapsed : 0;
+  for (Contender& c : d.contenders) {
+    c.slots = c.slots > elapsed ? c.slots - elapsed : 0;
+  }
 }
 
 void Channel::on_transmission_end(std::uint32_t slot, std::uint64_t frame_id) {
@@ -252,6 +285,12 @@ void Channel::on_transmission_end(std::uint32_t slot, std::uint64_t frame_id) {
   assert(flight_.frame[slot].id == frame_id);
   (void)frame_id;
   WLAN_OBS_ONLY(++end_of_air_;)
+  // Domains created during this frame's callbacks (index >= n_domains)
+  // never counted it — neither at transmit nor in their creation scan,
+  // which runs after the swap-erase below — so only pre-existing domains
+  // take part in this frame's busy bookkeeping.
+  const std::size_t n_domains = domains_.size();
+  const std::uint32_t frame_mask = flight_.sense_mask[slot];
   const mac::Frame frame = flight_.frame[slot];
   Completed done;
   done.frame = &frame;
@@ -276,6 +315,19 @@ void Channel::on_transmission_end(std::uint32_t slot, std::uint64_t frame_id) {
   flight_.on_air_pos[last] = pos;
   on_air_.pop_back();
   free_frames_.push_back(slot);
+
+  // The frame stops occupying its sensing domains here, in step with the
+  // on_air_ erasure — a request_access issued from inside the callbacks
+  // below must see the domain idle (it joins the *previous* idle period's
+  // slot grid via the handicap, exactly like the old single-timer medium).
+  // The idle anchor and timer move only after the callbacks, in the
+  // idle-transition loop at the bottom.
+  for (std::size_t di = 0; di < n_domains; ++di) {
+    ContentionDomain& d = domains_[di];
+    if ((d.mask & frame_mask) == 0) continue;
+    assert(d.busy_refs > 0);
+    --d.busy_refs;
+  }
 
   // Sender bookkeeping first (start timeouts), then receptions, then medium
   // state — so a SIFS response scheduled during reception still sees the
@@ -304,7 +356,20 @@ void Channel::on_transmission_end(std::uint32_t slot, std::uint64_t frame_id) {
     // exchange, so the arena never grows past one burst's worth.
     tx_log_.clear();
     arena_.reset();
-    medium_went_idle();
+  }
+  // Idle transition (the old single-domain medium_went_idle, per domain):
+  // every domain this frame occupied that is still idle after the
+  // callbacks restarts its slot grid at now and re-arms its timer —
+  // re-anchoring any timer a mid-callback joiner armed on the stale grid.
+  // A reentrant transmit during the callbacks leaves busy_refs != 0 and
+  // skips the domain, exactly as the old code skipped medium_went_idle.
+  for (std::size_t di = 0; di < n_domains; ++di) {
+    ContentionDomain& d = domains_[di];
+    if ((d.mask & frame_mask) == 0) continue;
+    if (d.busy_refs == 0) {
+      d.idle_anchor = sim_.now();
+      schedule_access_timer(di);
+    }
   }
 }
 
@@ -649,6 +714,8 @@ void Channel::harvest_metrics(obs::Metrics& m) const {
   m.note_max(Id::kArenaCapacityBytesHw, arena_.capacity_bytes());
   m.note_max(Id::kArenaAllocBytesHw, arena_.alloc_bytes_high_water());
   m.add(Id::kArenaResets, arena_.resets());
+  m.add(Id::kRatePlans, rate_plans_);
+  m.add(Id::kRateOutcomes, rate_outcomes_);
 }
 
 void Channel::record_ground_truth(const Completed& done,
@@ -672,64 +739,68 @@ void Channel::record_ground_truth(const Completed& done,
   ground_truth_->push_back(rec);
 }
 
-void Channel::medium_went_idle() {
-  idle_anchor_ = sim_.now();
-  schedule_access_timer();
-}
-
-void Channel::schedule_access_timer() {
-  if (!on_air_.empty() || contenders_.empty()) {
-    if (access_timer_set_) {
-      sim_.cancel(access_timer_);
-      access_timer_set_ = false;
+void Channel::schedule_access_timer(std::size_t di) {
+  ContentionDomain& d = domains_[di];
+  if (d.busy_refs != 0 || d.contenders.empty()) {
+    if (d.access_timer_set) {
+      sim_.cancel(d.access_timer);
+      d.access_timer_set = false;
     }
     return;
   }
   const auto min_it = std::min_element(
-      contenders_.begin(), contenders_.end(),
+      d.contenders.begin(), d.contenders.end(),
       [](const Contender& a, const Contender& b) { return a.slots < b.slots; });
   const Microseconds fire_at =
-      idle_anchor_ + timing_.difs + timing_.slot * min_it->slots;
+      d.idle_anchor + timing_.difs + timing_.slot * min_it->slots;
   const Microseconds when = fire_at < sim_.now() ? sim_.now() : fire_at;
   // A contender joining or withdrawing usually leaves the earliest grant
   // unchanged; keep the armed timer instead of a cancel + reschedule pair.
-  if (access_timer_set_) {
-    if (when == access_timer_at_) return;
-    sim_.cancel(access_timer_);
+  if (d.access_timer_set) {
+    if (when == d.access_timer_at) return;
+    sim_.cancel(d.access_timer);
   }
-  access_timer_ = sim_.at(when, [this] { fire_access(); });
-  access_timer_at_ = when;
-  access_timer_set_ = true;
+  d.access_timer = sim_.at(when, [this, di] { fire_access(di); });
+  d.access_timer_at = when;
+  d.access_timer_set = true;
 }
 
-void Channel::fire_access() {
-  access_timer_set_ = false;
-  if (!on_air_.empty() || contenders_.empty()) return;
+void Channel::fire_access(std::size_t di) {
+  {
+    ContentionDomain& d = domains_[di];
+    d.access_timer_set = false;
+    if (d.busy_refs != 0 || d.contenders.empty()) return;
 
-  std::uint32_t min_slots = contenders_.front().slots;
-  for (const Contender& c : contenders_) min_slots = std::min(min_slots, c.slots);
-
-  // Everyone burns min_slots; those at zero transmit (and may collide).
-  std::vector<MacEntity*> winners;
-  for (auto it = contenders_.begin(); it != contenders_.end();) {
-    it->slots -= min_slots;
-    if (it->slots == 0) {
-      winners.push_back(it->node);
-      it = contenders_.erase(it);
-    } else {
-      ++it;
+    std::uint32_t min_slots = d.contenders.front().slots;
+    for (const Contender& c : d.contenders) {
+      min_slots = std::min(min_slots, c.slots);
     }
+
+    // Everyone burns min_slots; those at zero transmit (and may collide).
+    std::vector<MacEntity*> winners;
+    for (auto it = d.contenders.begin(); it != d.contenders.end();) {
+      it->slots -= min_slots;
+      if (it->slots == 0) {
+        winners.push_back(it->node);
+        it = d.contenders.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // Slot countdown restarts after the upcoming busy period; anchor moves so
+    // remaining contenders do not double-count the consumed slots.
+    d.idle_anchor = sim_.now() - timing_.difs;
+
+    WLAN_OBS_ONLY(access_grants_ += winners.size();)
+    // The grants may transmit — which re-enters the domain table (busy
+    // accounting, even creating domains and reallocating domains_) — so the
+    // reference above dies with this scope.
+    for (MacEntity* w : winners) w->access_granted();
   }
-  // Slot countdown restarts after the upcoming busy period; anchor moves so
-  // remaining contenders do not double-count the consumed slots.
-  idle_anchor_ = sim_.now() - timing_.difs;
 
-  WLAN_OBS_ONLY(access_grants_ += winners.size();)
-  for (MacEntity* w : winners) w->access_granted();
-
-  // If a winner decided not to transmit (empty queue race), the medium may
+  // If a winner decided not to transmit (empty queue race), the domain may
   // still be idle: re-arm the timer for the remaining contenders.
-  if (on_air_.empty()) schedule_access_timer();
+  if (domains_[di].busy_refs == 0) schedule_access_timer(di);
 }
 
 }  // namespace wlan::sim

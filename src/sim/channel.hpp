@@ -7,6 +7,14 @@
 //    equivalent to per-station carrier sense when every station senses every
 //    other.  Two or more stations drawing the same backoff slot transmit
 //    together and collide — the congestion process under study.
+//  * Carrier sense is partitioned into *sensing domains* keyed by
+//    MacEntity::sense_mask: nodes sharing a mask share one slot-arbitration
+//    state, and a transmission freezes every domain whose mask intersects
+//    the sender's.  With the default mask (1 everywhere) there is exactly
+//    one domain and the arbitration reduces to the single-collision-domain
+//    model above, event for event.  Disjoint masks model hidden terminals:
+//    mutually-deaf groups count down independently, overlap on the air, and
+//    collide at the shared receiver through the SINR model.
 //  * Reception is SINR-based per receiver: signal over noise plus the sum of
 //    all transmissions that overlapped the frame at the receiver, with the
 //    PHY capture effect folded into the error model.  Range-limited sniffers
@@ -52,6 +60,7 @@
 #include "trace/record.hpp"
 #include "util/arena.hpp"
 #include "util/flat_map.hpp"
+#include "util/log_histogram.hpp"
 #include "util/rng.hpp"
 
 namespace wlan::sim {
@@ -163,6 +172,25 @@ class Channel {
     return frame_success_;
   }
 
+  /// Rate-layer work counters (member counters on the per-frame path, like
+  /// the reception ones above; harvested by harvest_metrics).
+  void note_rate_plan() { WLAN_OBS_ONLY(++rate_plans_;) }
+  void note_rate_outcome() { WLAN_OBS_ONLY(++rate_outcomes_;) }
+
+  /// Records a delivered data MSDU's delay split (paper §6): time queued
+  /// behind other heads vs time at the head of the line.  Always on — the
+  /// histograms are simulation output (figure material), not obs counters.
+  void record_data_delay(Microseconds queued, Microseconds service) {
+    queue_delay_us_.record(static_cast<std::uint64_t>(queued.count()));
+    service_delay_us_.record(static_cast<std::uint64_t>(service.count()));
+  }
+  [[nodiscard]] const util::LogHistogram& queue_delay_histogram() const {
+    return queue_delay_us_;
+  }
+  [[nodiscard]] const util::LogHistogram& service_delay_histogram() const {
+    return service_delay_us_;
+  }
+
  private:
   using LinkId = phy::LinkBudgetCache::LinkId;
 
@@ -187,6 +215,9 @@ class Channel {
     std::vector<const Interferer*> snapshot;
     std::vector<std::uint32_t> snapshot_len;
     std::vector<std::uint32_t> on_air_pos;
+
+    /// Sender's sense mask at transmit, for per-domain busy accounting.
+    std::vector<std::uint32_t> sense_mask;
 
     std::vector<mac::Frame> frame;
     /// Sender, or nullptr when the node was removed mid-air (the frame
@@ -221,6 +252,22 @@ class Channel {
     std::uint32_t slots;
   };
 
+  /// One sensing domain's slot-arbitration state: the contenders whose
+  /// exact sense mask is `mask`, their shared idle anchor and access timer,
+  /// and the count of on-air frames whose sender mask intersects `mask`
+  /// (the domain's carrier-sense busy signal).  Domains are created on
+  /// first use and never erased; index 0 is the default mask-1 domain, so
+  /// homogeneous runs reduce to the single shared timer they always had.
+  struct ContentionDomain {
+    std::uint32_t mask = 1;
+    std::vector<Contender> contenders;
+    Microseconds idle_anchor{0};
+    EventId access_timer{};
+    Microseconds access_timer_at{0};
+    bool access_timer_set = false;
+    std::uint32_t busy_refs = 0;
+  };
+
   void on_transmission_end(std::uint32_t slot, std::uint64_t frame_id);
   /// In-flight reference counting on link ids: a frame pins its sender's
   /// link plus every link in its overlap set (snapshot + tx-log span) until
@@ -238,10 +285,12 @@ class Channel {
   /// (validate-or-rebuild, then replay).  See BroadcastPlan.
   void run_broadcast_plan(const Completed& done);
   void record_ground_truth(const Completed& done, trace::TxOutcome outcome);
-  void medium_went_idle();
-  void consume_elapsed_slots(Microseconds busy_start);
-  void schedule_access_timer();
-  void fire_access();
+  /// Index of the domain with exactly `mask`, creating it on first use (a
+  /// mid-run creation anchors at now and scans the air for busy senders).
+  std::size_t domain_for(std::uint32_t mask);
+  void consume_elapsed_slots(ContentionDomain& d, Microseconds busy_start);
+  void schedule_access_timer(std::size_t di);
+  void fire_access(std::size_t di);
   [[nodiscard]] double sinr_db_at(const Completed& done, LinkId rx) const;
 
   Simulator& sim_;
@@ -328,12 +377,9 @@ class Channel {
   /// ids that actually send interference-free broadcasts — in practice the
   /// APs).  Bounded by peak concurrent link ids, like the link cache itself.
   std::vector<BroadcastPlan> broadcast_plans_;
-  std::vector<Contender> contenders_;
-
-  Microseconds idle_anchor_{0};  ///< when the current idle period began
-  EventId access_timer_{};
-  Microseconds access_timer_at_{0};  ///< instant the armed timer fires
-  bool access_timer_set_ = false;
+  /// Sensing domains (see ContentionDomain); [0] is the default mask-1
+  /// domain, created in the constructor with the historic t=0 idle anchor.
+  std::vector<ContentionDomain> domains_;
 
   std::vector<trace::TxRecord>* ground_truth_ = nullptr;
   std::uint64_t* frame_counter_ = nullptr;
@@ -350,6 +396,11 @@ class Channel {
   std::uint64_t plan_hits_ = 0;
   std::uint64_t plan_rebuilds_ = 0;
   std::uint64_t links_recycled_ = 0;
+  std::uint64_t rate_plans_ = 0;
+  std::uint64_t rate_outcomes_ = 0;
+  /// Delivered-MSDU delay components (always on; see record_data_delay).
+  util::LogHistogram queue_delay_us_;
+  util::LogHistogram service_delay_us_;
 #ifdef WLAN_SCALAR_RECEPTION
   bool scalar_reception_ = true;
 #else

@@ -28,12 +28,14 @@ Channel& Network::channel(std::uint8_t number) {
 }
 
 AccessPoint& Network::add_ap(const phy::Position& where,
-                             std::uint8_t channel_no, int num_vaps) {
+                             std::uint8_t channel_no, int num_vaps,
+                             std::uint32_t sense_mask) {
   StationConfig cfg;
   cfg.position = where;
   cfg.seed = rng_.next();
   cfg.queue_limit = 256;  // APs aggregate many flows
   cfg.tx_power_offset_db = ap_power_offset_db_;
+  cfg.sense_mask = sense_mask;
   const mac::Addr radio = allocate_addr();
   std::vector<mac::Addr> vaps;
   vaps.reserve(static_cast<std::size_t>(num_vaps));
@@ -148,6 +150,14 @@ void Network::harvest_metrics(obs::Metrics& m) const {
     m.add(Id::kFrameSuccessEvals, fsc.evals());
     m.add(Id::kFrameSuccessSaturated, fsc.saturated());
     m.add(Id::kFrameSuccessResizes, fsc.resizes());
+  }
+}
+
+void Network::harvest_delays(util::LogHistogram& queue_delay,
+                             util::LogHistogram& service_delay) const {
+  for (const auto& ch : channels_) {
+    queue_delay.merge(ch->queue_delay_histogram());
+    service_delay.merge(ch->service_delay_histogram());
   }
 }
 

@@ -66,8 +66,10 @@ class Network {
   }
 
   /// Creates an AP radio on `channel_no` with `num_vaps` virtual APs.
+  /// `sense_mask` places the AP's carrier sense (see MacEntity::sense_mask);
+  /// the default keeps everyone in the paper's single collision domain.
   AccessPoint& add_ap(const phy::Position& where, std::uint8_t channel_no,
-                      int num_vaps = 4);
+                      int num_vaps = 4, std::uint32_t sense_mask = 1);
 
   /// Creates a client station on `channel_no`.
   Station& add_station(std::uint8_t channel_no, const StationConfig& config);
@@ -115,6 +117,12 @@ class Network {
   /// capture pipeline.  Call once, after the run finishes — counters are
   /// cumulative, so harvesting twice would double-count the kSum entries.
   void harvest_metrics(obs::Metrics& m) const;
+
+  /// Folds every channel's per-frame delay histograms (queueing wait and
+  /// head-of-line service time, microseconds) into the caller's
+  /// accumulators.  Like harvest_metrics: call once, after the run.
+  void harvest_delays(util::LogHistogram& queue_delay,
+                      util::LogHistogram& service_delay) const;
 
   /// Next free MAC address.  Addresses released by remove_station recycle
   /// (FIFO, so a recycled address rests as long as possible before reuse),

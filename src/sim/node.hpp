@@ -35,6 +35,14 @@ class MacEntity {
   /// rates"; stations implementing that raise this value.
   [[nodiscard]] virtual double tx_power_offset_db() const { return 0.0; }
 
+  /// Carrier-sense domain bits.  A node contends in the domain keyed by its
+  /// exact mask and defers to any transmission whose sender's mask
+  /// intersects it; transmissions from disjoint-mask senders are invisible
+  /// to its carrier sense (hidden terminals) though they still interfere at
+  /// the receiver via SINR.  The default — every node on bit 0 — is the
+  /// paper's single collision domain.
+  [[nodiscard]] virtual std::uint32_t sense_mask() const { return 1; }
+
  private:
   friend class Channel;
   phy::LinkBudgetCache::LinkId link_id_ = phy::LinkBudgetCache::kNoLink;

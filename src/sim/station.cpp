@@ -2,7 +2,9 @@
 
 #include <cassert>
 
+#include "obs/metrics.hpp"
 #include "phy/airtime.hpp"
+#include "rate/policy_registry.hpp"
 
 namespace wlan::sim {
 
@@ -14,21 +16,27 @@ Station::Station(Channel& channel, mac::Addr address, const StationConfig& confi
 
 rate::RateController& Station::controller_for(mac::Addr peer_addr) {
   assert(peer_addr != mac::kBroadcast);  // broadcasts bypass rate adaptation
+  // The per-link stream seed feeds randomized policies (MinstrelLite's
+  // probe gaps); it is a pure function of (station seed, peer address), so
+  // controllers re-created after forget_peer resume an identical schedule.
   if (peer_addr == mac::kBroadcast) {
     // kBroadcast is the controller index's reserved empty key; indexing it
     // would leak a fresh controller per call in a Release build.  Give such
     // (unreachable today) callers a dedicated controller — aliasing a real
     // peer's would corrupt that peer's adaptation history.
     if (!broadcast_controller_) {
-      broadcast_controller_ = rate::make_controller(config_.rate);
+      broadcast_controller_ = rate::PolicyRegistry::instance().make(
+          config_.rate, util::mix_seed(config_.seed, peer_addr));
     }
     return *broadcast_controller_;
   }
   if (rate::RateController** it = controller_index_.find(peer_addr)) {
     return **it;
   }
-  controllers_.push_back(rate::make_controller(config_.rate));
+  controllers_.push_back(rate::PolicyRegistry::instance().make(
+      config_.rate, util::mix_seed(config_.seed, peer_addr)));
   controller_index_.insert_or_assign(peer_addr, controllers_.back().get());
+  obs::count(obs::Id::kRateControllersCreated);
   return *controllers_.back();
 }
 
@@ -127,6 +135,12 @@ void Station::shutdown() {
 
 void Station::start_contention() {
   assert(!queue_.empty());
+  if (!head_in_service_) {
+    // First contention for this head: the queueing-delay phase ends here,
+    // the head-of-line (service) phase begins.
+    head_in_service_ = true;
+    head_service_start_ = channel_.simulator().now();
+  }
   state_ = State::kContending;
   backoff_.draw();
   channel_.request_access(this, backoff_.slots_remaining());
@@ -140,9 +154,9 @@ void Station::access_granted() {
   transmit_head();
 }
 
-double Station::snr_hint(mac::Addr peer_addr) const {
+std::optional<double> Station::snr_hint(mac::Addr peer_addr) const {
   const MacEntity* p = channel_.peer(peer_addr);
-  if (!p) return -200.0;
+  if (!p) return std::nullopt;
   return channel_.link_snr_db(*this, *p) + config_.tx_power_offset_db;
 }
 
@@ -168,7 +182,25 @@ void Station::transmit_head() {
   }
 
   if (head.type == mac::FrameType::kData) {
-    current_rate_ = controller_for(head.dst).rate_for_next(snr_hint(head.dst));
+    // Plan a retry chain once per head frame; walk it across retries and
+    // re-plan only when it is exhausted.  The legacy policies emit
+    // single-attempt plans, so they re-decide before every retry exactly
+    // as the pre-chain MAC did.
+    rate::RateController& rc = controller_for(head.dst);
+    if (!plan_valid_ || plan_attempt_ >= plan_.total_attempts()) {
+      const Microseconds now = channel_.simulator().now();
+      rc.on_tick(now);
+      rate::TxContext ctx;
+      ctx.snr_db = snr_hint(head.dst);
+      ctx.payload_bytes = head.payload;
+      ctx.now = now;
+      ctx.retry_limit = channel_.timing().short_retry_limit;
+      plan_ = rc.plan(ctx);
+      plan_attempt_ = 0;
+      plan_valid_ = true;
+      channel_.note_rate_plan();
+    }
+    current_rate_ = plan_.rate_for_attempt(plan_attempt_);
   } else {
     current_rate_ = phy::Rate::kR1;  // management at the basic rate
   }
@@ -247,7 +279,7 @@ void Station::on_receive(const mac::Frame& f, double snr_db) {
           channel_.simulator().cancel(response_timer_);
           response_timer_set_ = false;
         }
-        if (!queue_.empty()) controller_for(queue_.front().dst).on_success();
+        if (!queue_.empty()) report_tx_outcome(true);
         backoff_.reset();
         // Fragment burst: more payload pending means the next fragment
         // follows after SIFS, keeping the exchange atomic.
@@ -320,8 +352,26 @@ void Station::on_ack_timeout() {
   attempt_failed();
 }
 
+void Station::report_tx_outcome(bool success) {
+  const Packet& head = queue_.front();
+  if (head.dst == mac::kBroadcast) return;  // broadcasts are never planned
+  rate::TxFeedback fb;
+  fb.rate = current_rate_;
+  fb.attempt = attempt_;
+  fb.success = success;
+  fb.payload_bytes = head.payload;
+  fb.airtime = phy::data_airtime(head.payload, current_rate_);
+  fb.now = channel_.simulator().now();
+  controller_for(head.dst).on_tx_outcome(fb);
+  channel_.note_rate_outcome();
+}
+
 void Station::attempt_failed() {
-  if (!queue_.empty()) controller_for(queue_.front().dst).on_failure();
+  if (!queue_.empty()) {
+    report_tx_outcome(false);
+    // The failed attempt consumed one slot of the planned retry chain.
+    if (plan_valid_) ++plan_attempt_;
+  }
   ++attempt_;
   const auto limit = channel_.timing().short_retry_limit;
   if (attempt_ > limit) {
@@ -339,10 +389,23 @@ void Station::finish_head(bool delivered) {
     state_ = State::kIdle;
     return;
   }
+  const Packet& head = queue_.front();
+  if (delivered && head.type == mac::FrameType::kData &&
+      head.dst != mac::kBroadcast && head_in_service_) {
+    // Delay components of a delivered MSDU (paper §6): time spent queued
+    // behind other heads vs time at the head of the line (contention,
+    // retries, fragment burst).
+    const Microseconds now = channel_.simulator().now();
+    channel_.record_data_delay(head_service_start_ - head.enqueued,
+                               now - head_service_start_);
+  }
+  head_in_service_ = false;
   const auto on_complete = std::move(queue_.front().on_complete);
   queue_.pop_front();
   attempt_ = 0;
   frag_sent_ = 0;
+  plan_valid_ = false;
+  plan_attempt_ = 0;
   if (delivered) ++stats_.delivered;
   if (!queue_.empty()) {
     start_contention();

@@ -11,6 +11,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -51,6 +52,11 @@ struct StationConfig {
   /// individually acknowledged — the classic 802.11 remedy for noisy links
   /// (cf. the frame-size optimizations of the paper's related work).
   std::uint32_t frag_threshold = 0;
+  /// Carrier-sense domain bits (see MacEntity::sense_mask): this station
+  /// contends in every domain whose bit is set.  The default single shared
+  /// domain models one collision domain; hidden-terminal topologies give
+  /// mutually-deaf groups disjoint bits and the shared receiver the union.
+  std::uint32_t sense_mask = 1;
   std::uint64_t seed = 1;
   /// kNoAddr lets the network allocate; a relocating user passes its old
   /// station's address so the client keeps one MAC identity across roams
@@ -92,6 +98,9 @@ class Station : public MacEntity {
   [[nodiscard]] mac::Addr addr() const override { return addr_; }
   [[nodiscard]] double tx_power_offset_db() const override {
     return config_.tx_power_offset_db;
+  }
+  [[nodiscard]] std::uint32_t sense_mask() const override {
+    return config_.sense_mask;
   }
 
   /// Adjusts transmit power at runtime (transmit power control).
@@ -145,11 +154,14 @@ class Station : public MacEntity {
   void send_data_frame();
   /// Rate controller for the link toward `peer` (APs adapt per client).
   rate::RateController& controller_for(mac::Addr peer);
+  /// Reports the current head's just-resolved attempt (ACKed or failed) to
+  /// its controller as a TxFeedback.
+  void report_tx_outcome(bool success);
   void on_cts_timeout();
   void on_ack_timeout();
   void attempt_failed();
   void finish_head(bool delivered);
-  [[nodiscard]] double snr_hint(mac::Addr peer) const;
+  [[nodiscard]] std::optional<double> snr_hint(mac::Addr peer) const;
   [[nodiscard]] Microseconds exchange_nav(std::uint32_t payload,
                                           phy::Rate rate) const;
 
@@ -175,6 +187,16 @@ class Station : public MacEntity {
   std::uint32_t fragment_bytes_ = 0;  ///< size of the fragment now in flight
   std::uint16_t next_seq_ = 0;
   phy::Rate current_rate_ = phy::Rate::kR11;
+  /// Retry chain planned for the current head frame; attempts index into
+  /// it.  Single-attempt plans (the legacy policies) exhaust on every
+  /// failure, so the controller re-decides before each retry.
+  rate::TxPlan plan_;
+  std::uint32_t plan_attempt_ = 0;
+  bool plan_valid_ = false;
+  /// First-contention timestamp of the current head, for the queueing vs
+  /// head-of-line delay split (paper §6 delay components).
+  Microseconds head_service_start_{0};
+  bool head_in_service_ = false;
   EventId response_timer_{};
   bool response_timer_set_ = false;
   EventId sifs_timer_{};

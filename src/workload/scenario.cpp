@@ -181,7 +181,9 @@ SessionResult run_session(const ScenarioConfig& config, SessionKind kind) {
   trace::MergeResult merged =
       trace::merge_sniffer_traces(scenario.network().sniffer_traces());
   obs::count(obs::Id::kTraceRecords, merged.trace.records.size());
-  return {scenario.name(), std::move(merged.trace)};
+  SessionResult result{scenario.name(), std::move(merged.trace), {}, {}};
+  scenario.network().harvest_delays(result.queue_delay, result.service_delay);
+  return result;
 }
 
 CellResult run_cell(const CellConfig& config) {
@@ -309,6 +311,84 @@ CellResult run_cell(const CellConfig& config) {
   result.medium_collisions = net.channel(config.channel).collisions();
   result.sniffer = sniffers[0]->stats();
   result.duration_s = config.duration_s - config.warmup_s;
+  net.harvest_delays(result.queue_delay, result.service_delay);
+  obs::count(obs::Id::kTraceRecords, result.trace.records.size());
+  return result;
+}
+
+CellResult run_hidden_terminal(const CellConfig& config) {
+  sim::NetworkConfig net_cfg;
+  net_cfg.seed = config.seed;
+  net_cfg.timing_profile = config.timing;
+  net_cfg.channels = {config.channel};
+  net_cfg.propagation.path_loss_exponent = config.path_loss_exponent;
+  net_cfg.propagation.shadowing_sigma_db = config.shadowing_sigma_db;
+  net_cfg.scalar_reception = config.scalar_reception;
+
+  sim::Network net(net_cfg);
+  util::Rng rng(config.seed ^ 0x41DDE4ULL);
+
+  // One AP in the middle; its carrier sense spans both wings.
+  const double mid = config.room_m / 2;
+  auto& ap = net.add_ap({mid, mid, 0}, config.channel, 4, 0b11u);
+  ap.start_beacons();
+
+  sim::SnifferConfig sniff;
+  sniff.position = {mid, mid, 0};
+  sniff.channel = config.channel;
+  sniff.capacity_fps = config.sniffer_capacity_fps;
+  sim::Sniffer& sniffer = net.add_sniffer(sniff);
+
+  TrafficProfile profile = config.profile;
+  profile.mean_pps = config.per_user_pps;
+
+  // Two wings along the diagonal, each well inside the AP's range but
+  // shadowed from the other (masks 0b01 / 0b10 make that structural rather
+  // than a fragile function of the propagation draw).  Alternating
+  // assignment keeps the split deterministic and balanced.
+  std::vector<std::unique_ptr<UserSession>> sessions;
+  for (int i = 0; i < config.num_users; ++i) {
+    const bool east = i % 2 == 0;
+    const double cx = east ? 0.75 * config.room_m : 0.25 * config.room_m;
+    UserSpec spec;
+    spec.position = {cx + rng.uniform_real(-5.0, 5.0),
+                     cx + rng.uniform_real(-5.0, 5.0), 0};
+    spec.sense_mask = east ? 0b01u : 0b10u;
+    spec.join = Microseconds{static_cast<std::int64_t>(
+        rng.uniform_real(0.0, 1.0) * 1e6)};
+    spec.profile = profile;
+    spec.use_rtscts = rng.chance(config.rtscts_fraction);
+    spec.rate = config.rate;
+    spec.auto_power_margin_db = config.auto_power_margin_db;
+    sessions.push_back(std::make_unique<UserSession>(net, spec, rng.next()));
+  }
+
+  {
+    obs::Span span("hidden-terminal: run");
+    net.run_for(
+        Microseconds{static_cast<std::int64_t>(config.duration_s * 1e6)});
+  }
+  if (obs::Metrics* m = obs::current()) net.harvest_metrics(*m);
+
+  CellResult result;
+  const auto warmup_us = static_cast<std::int64_t>(config.warmup_s * 1e6);
+  const auto& recs = sniffer.records();
+  result.trace.records.reserve(recs.size());
+  for (const auto& r : recs) {
+    if (r.time_us >= warmup_us) result.trace.records.push_back(r);
+  }
+  trace::sort_by_time(result.trace.records);
+  result.trace.start_us = warmup_us;
+  result.trace.end_us = static_cast<std::int64_t>(config.duration_s * 1e6);
+  result.ground_truth.reserve(net.ground_truth().size());
+  for (const auto& r : net.ground_truth()) {
+    if (r.time_us >= warmup_us) result.ground_truth.push_back(r);
+  }
+  result.medium_transmissions = net.channel(config.channel).transmissions();
+  result.medium_collisions = net.channel(config.channel).collisions();
+  result.sniffer = sniffer.stats();
+  result.duration_s = config.duration_s - config.warmup_s;
+  net.harvest_delays(result.queue_delay, result.service_delay);
   obs::count(obs::Id::kTraceRecords, result.trace.records.size());
   return result;
 }

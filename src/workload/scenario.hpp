@@ -14,6 +14,7 @@
 
 #include "sim/network.hpp"
 #include "trace/merge.hpp"
+#include "util/log_histogram.hpp"
 #include "workload/churn.hpp"
 #include "workload/floorplan.hpp"
 #include "workload/traffic.hpp"
@@ -99,6 +100,11 @@ class Scenario {
 struct SessionResult {
   std::string name;
   trace::Trace trace;  ///< all sniffer captures, merged and time-sorted
+  /// Per-frame delay components (paper §6): time spent queued behind other
+  /// frames and head-of-line service time (first contention to final ACK /
+  /// drop), microseconds, over every delivered unicast data frame.
+  util::LogHistogram queue_delay;
+  util::LogHistogram service_delay;
 };
 
 /// Builds a day/plenary scenario, runs the full duration, and hands back
@@ -164,9 +170,24 @@ struct CellResult {
   std::vector<trace::Trace> sniffer_traces;
   trace::ClockOffsets clock_offsets;
   trace::MergeStats merge_stats;
+  /// Per-frame delay components (paper §6): queueing wait and head-of-line
+  /// service time in microseconds (see SessionResult).
+  util::LogHistogram queue_delay;
+  util::LogHistogram service_delay;
 };
 
 /// Builds, runs and harvests a cell (self-contained; used by benches/tests).
 CellResult run_cell(const CellConfig& config);
+
+/// Hidden-terminal fixture: one channel, a single AP in the cell centre
+/// whose carrier sense spans both sides (sense mask 0b11), and two user
+/// groups at opposite corners on disjoint masks 0b01 / 0b10.  Each group
+/// hears — and defers to — the AP, but the groups cannot sense each other,
+/// so simultaneous uplinks collide at the AP exactly as the classic
+/// hidden-node experiment predicts.  `rtscts_fraction` is the remedy knob:
+/// at 1.0 the RTS/CTS exchange serialises the two sides through the AP's
+/// CTS.  All other CellConfig fields keep their run_cell meaning
+/// (num_aps/far_fraction are ignored).
+CellResult run_hidden_terminal(const CellConfig& config);
 
 }  // namespace wlan::workload

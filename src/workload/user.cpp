@@ -36,6 +36,7 @@ void UserSession::bring_up_station(mac::Addr reuse_addr) {
   cfg.position = spec_.position;
   cfg.use_rtscts = spec_.use_rtscts;
   cfg.rate = spec_.rate;
+  cfg.sense_mask = spec_.sense_mask;
   cfg.seed = rng_.next();
   cfg.addr = reuse_addr;
   if (spec_.auto_power_margin_db >= 0.0) {

@@ -26,6 +26,9 @@ struct UserSpec {
   TrafficProfile profile;
   bool use_rtscts = false;
   rate::ControllerConfig rate;
+  /// Carrier-sense domain bits for the client radio (see
+  /// sim::MacEntity::sense_mask).  Default: the single collision domain.
+  std::uint32_t sense_mask = 1;
   /// Transmit power control (§7's alternative remedy): when >= 0, the
   /// client raises its transmit power so the uplink supports 11 Mbps with
   /// this much margin (dB), up to `max_power_boost_db`.

@@ -7,18 +7,20 @@
 #include <stdexcept>
 
 #include "exp/spec.hpp"
+#include "rate/policy_registry.hpp"
 
 namespace wlan::exp {
 namespace {
 
 TEST(RegistryTest, BuiltInScenariosAreRegistered) {
   const auto names = ScenarioRegistry::instance().names();
-  ASSERT_EQ(names.size(), 5u);
+  ASSERT_EQ(names.size(), 6u);
   EXPECT_EQ(names[0], "cell");          // names() sorts
-  EXPECT_EQ(names[1], "ietf-day");
-  EXPECT_EQ(names[2], "ietf-day-churn");
-  EXPECT_EQ(names[3], "ietf-plenary");
-  EXPECT_EQ(names[4], "ietf-plenary-churn");
+  EXPECT_EQ(names[1], "hidden-terminal");
+  EXPECT_EQ(names[2], "ietf-day");
+  EXPECT_EQ(names[3], "ietf-day-churn");
+  EXPECT_EQ(names[4], "ietf-plenary");
+  EXPECT_EQ(names[5], "ietf-plenary-churn");
   EXPECT_TRUE(ScenarioRegistry::instance().contains("cell"));
   EXPECT_FALSE(ScenarioRegistry::instance().contains("ballroom"));
 }
@@ -51,11 +53,28 @@ TEST(RegistryTest, UnknownScenarioAndDuplicateRegistrationThrow) {
       std::invalid_argument);
 }
 
-TEST(RegistryTest, PolicyKeysRoundTrip) {
-  for (const std::string& key : policy_keys()) {
-    EXPECT_EQ(policy_key(parse_policy(key)), key);
+TEST(RegistryTest, PolicyKeysRoundTripThroughSpecAndRegistry) {
+  // The exp layer carries rate::PolicyRegistry keys verbatim: every key the
+  // registry publishes expands into a run whose controller config and
+  // manifest column echo the key back, and each builds the controller whose
+  // name() matches the registry's display name.
+  for (const std::string& key : rate::PolicyRegistry::instance().keys()) {
+    ExperimentSpec spec;
+    spec.rate_policies = {key};
+    const auto runs = expand(spec);
+    ASSERT_EQ(runs.size(), 1u);
+    EXPECT_EQ(runs[0].rate_policy, key);
+    EXPECT_EQ(runs[0].cell.rate.policy, key);
+    const auto ctl =
+        rate::PolicyRegistry::instance().make(runs[0].cell.rate, 1);
+    // Display names refine the controller name ("FIXED" -> "FIXED-1").
+    const std::string display(
+        rate::PolicyRegistry::instance().display_name(key));
+    EXPECT_EQ(display.rfind(ctl->name(), 0), 0u) << key;
   }
-  EXPECT_THROW((void)parse_policy("carrier-pigeon"), std::invalid_argument);
+  ExperimentSpec bad;
+  bad.rate_policies = {"carrier-pigeon"};
+  EXPECT_THROW((void)expand(bad), std::invalid_argument);
 }
 
 TEST(RegistryTest, TimingKeysRoundTrip) {

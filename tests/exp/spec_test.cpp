@@ -97,7 +97,7 @@ TEST(SpecTest, AxisValuesResolveIntoTheCell) {
     EXPECT_EQ(run.cell.seed, run.seed);
     EXPECT_DOUBLE_EQ(run.cell.duration_s, 7.5);
     EXPECT_DOUBLE_EQ(run.cell.room_m, 55.0);  // base carried through
-    EXPECT_EQ(run.cell.rate.policy, parse_policy(run.rate_policy));
+    EXPECT_EQ(run.cell.rate.policy, run.rate_policy);
     EXPECT_EQ(run.cell.timing, parse_timing(run.timing));
     EXPECT_DOUBLE_EQ(run.cell.rtscts_fraction, run.rtscts_fraction);
     EXPECT_EQ(run.cell.num_users, run.load.users);

@@ -2,22 +2,25 @@
 
 #include <gtest/gtest.h>
 
+#include "feedback.hpp"
+
 namespace wlan::rate {
 namespace {
 
+using testing::fail;
+using testing::next_rate;
+using testing::succeed;
+
 // Drives the controller to 5.5 Mbps from the initial 11.
-void drop_one_rate(Aarf& aarf) {
-  aarf.on_failure();
-  aarf.on_failure();
-}
+void drop_one_rate(Aarf& aarf) { fail(aarf, 2); }
 
 TEST(AarfTest, BehavesLikeArfInitially) {
   Aarf aarf(10, 2);
-  EXPECT_EQ(aarf.rate_for_next(0.0), phy::Rate::kR11);
+  EXPECT_EQ(next_rate(aarf), phy::Rate::kR11);
   drop_one_rate(aarf);
-  EXPECT_EQ(aarf.rate_for_next(0.0), phy::Rate::kR5_5);
-  for (int i = 0; i < 10; ++i) aarf.on_success();
-  EXPECT_EQ(aarf.rate_for_next(0.0), phy::Rate::kR11);
+  EXPECT_EQ(next_rate(aarf), phy::Rate::kR5_5);
+  succeed(aarf, 10);
+  EXPECT_EQ(next_rate(aarf), phy::Rate::kR11);
 }
 
 TEST(AarfTest, FailedProbeDoublesUpThreshold) {
@@ -25,17 +28,17 @@ TEST(AarfTest, FailedProbeDoublesUpThreshold) {
   drop_one_rate(aarf);  // at 5.5
 
   // Probe up, fail -> back to 5.5, threshold now 20.
-  for (int i = 0; i < 10; ++i) aarf.on_success();
-  ASSERT_EQ(aarf.rate_for_next(0.0), phy::Rate::kR11);
-  aarf.on_failure();
-  ASSERT_EQ(aarf.rate_for_next(0.0), phy::Rate::kR5_5);
+  succeed(aarf, 10);
+  ASSERT_EQ(next_rate(aarf), phy::Rate::kR11);
+  fail(aarf);
+  ASSERT_EQ(next_rate(aarf), phy::Rate::kR5_5);
 
   // 10 successes no longer trigger a probe...
-  for (int i = 0; i < 10; ++i) aarf.on_success();
-  EXPECT_EQ(aarf.rate_for_next(0.0), phy::Rate::kR5_5);
+  succeed(aarf, 10);
+  EXPECT_EQ(next_rate(aarf), phy::Rate::kR5_5);
   // ...but 20 do.
-  for (int i = 0; i < 10; ++i) aarf.on_success();
-  EXPECT_EQ(aarf.rate_for_next(0.0), phy::Rate::kR11);
+  succeed(aarf, 10);
+  EXPECT_EQ(next_rate(aarf), phy::Rate::kR11);
 }
 
 TEST(AarfTest, ThresholdCapped) {
@@ -43,23 +46,23 @@ TEST(AarfTest, ThresholdCapped) {
   drop_one_rate(aarf);
   // Fail many probes: threshold doubles 10->20->40->50 (cap).
   for (int round = 0; round < 5; ++round) {
-    for (int i = 0; i < 50; ++i) aarf.on_success();
-    if (aarf.rate_for_next(0.0) == phy::Rate::kR11) aarf.on_failure();
+    succeed(aarf, 50);
+    if (next_rate(aarf) == phy::Rate::kR11) fail(aarf);
   }
   // Still recoverable within the cap.
-  for (int i = 0; i < 50; ++i) aarf.on_success();
-  EXPECT_EQ(aarf.rate_for_next(0.0), phy::Rate::kR11);
+  succeed(aarf, 50);
+  EXPECT_EQ(next_rate(aarf), phy::Rate::kR11);
 }
 
 TEST(AarfTest, RegularDropResetsThreshold) {
   Aarf aarf(10, 2);
   drop_one_rate(aarf);  // 5.5
-  for (int i = 0; i < 10; ++i) aarf.on_success();
-  aarf.on_failure();  // failed probe -> threshold 20, back at 5.5
+  succeed(aarf, 10);
+  fail(aarf);  // failed probe -> threshold 20, back at 5.5
   drop_one_rate(aarf);  // regular drop to 2: threshold back to base
-  ASSERT_EQ(aarf.rate_for_next(0.0), phy::Rate::kR2);
-  for (int i = 0; i < 10; ++i) aarf.on_success();
-  EXPECT_EQ(aarf.rate_for_next(0.0), phy::Rate::kR5_5);
+  ASSERT_EQ(next_rate(aarf), phy::Rate::kR2);
+  succeed(aarf, 10);
+  EXPECT_EQ(next_rate(aarf), phy::Rate::kR5_5);
 }
 
 TEST(AarfTest, Name) {

@@ -2,81 +2,92 @@
 
 #include <gtest/gtest.h>
 
+#include "feedback.hpp"
+
 namespace wlan::rate {
 namespace {
 
+using testing::fail;
+using testing::next_rate;
+using testing::succeed;
+
 TEST(ArfTest, StartsAtTopRate) {
   Arf arf(10, 2);
-  EXPECT_EQ(arf.rate_for_next(0.0), phy::Rate::kR11);
+  EXPECT_EQ(next_rate(arf), phy::Rate::kR11);
 }
 
 TEST(ArfTest, TwoConsecutiveFailuresDropRate) {
   Arf arf(10, 2);
-  arf.on_failure();
-  EXPECT_EQ(arf.rate_for_next(0.0), phy::Rate::kR11);  // one is not enough
-  arf.on_failure();
-  EXPECT_EQ(arf.rate_for_next(0.0), phy::Rate::kR5_5);
+  fail(arf);
+  EXPECT_EQ(next_rate(arf), phy::Rate::kR11);  // one is not enough
+  fail(arf);
+  EXPECT_EQ(next_rate(arf), phy::Rate::kR5_5);
 }
 
 TEST(ArfTest, SuccessResetsFailureCount) {
   Arf arf(10, 2);
-  arf.on_failure();
-  arf.on_success();
-  arf.on_failure();
-  EXPECT_EQ(arf.rate_for_next(0.0), phy::Rate::kR11);
+  fail(arf);
+  succeed(arf);
+  fail(arf);
+  EXPECT_EQ(next_rate(arf), phy::Rate::kR11);
 }
 
 TEST(ArfTest, SuccessTrainProbesUp) {
   Arf arf(10, 2);
   // Get down to 5.5 first.
-  arf.on_failure();
-  arf.on_failure();
-  ASSERT_EQ(arf.rate_for_next(0.0), phy::Rate::kR5_5);
-  for (int i = 0; i < 10; ++i) arf.on_success();
-  EXPECT_EQ(arf.rate_for_next(0.0), phy::Rate::kR11);
+  fail(arf, 2);
+  ASSERT_EQ(next_rate(arf), phy::Rate::kR5_5);
+  succeed(arf, 10);
+  EXPECT_EQ(next_rate(arf), phy::Rate::kR11);
 }
 
 TEST(ArfTest, FailedProbeFallsStraightBack) {
   Arf arf(10, 2);
-  arf.on_failure();
-  arf.on_failure();  // at 5.5
-  for (int i = 0; i < 10; ++i) arf.on_success();  // probe up to 11
-  ASSERT_EQ(arf.rate_for_next(0.0), phy::Rate::kR11);
-  arf.on_failure();  // probe fails: single failure is enough
-  EXPECT_EQ(arf.rate_for_next(0.0), phy::Rate::kR5_5);
+  fail(arf, 2);  // at 5.5
+  succeed(arf, 10);  // probe up to 11
+  ASSERT_EQ(next_rate(arf), phy::Rate::kR11);
+  fail(arf);  // probe fails: single failure is enough
+  EXPECT_EQ(next_rate(arf), phy::Rate::kR5_5);
 }
 
 TEST(ArfTest, CannotDropBelowOne) {
   Arf arf(10, 2);
-  for (int i = 0; i < 20; ++i) arf.on_failure();
-  EXPECT_EQ(arf.rate_for_next(0.0), phy::Rate::kR1);
+  fail(arf, 20);
+  EXPECT_EQ(next_rate(arf), phy::Rate::kR1);
 }
 
 TEST(ArfTest, CannotProbeAboveEleven) {
   Arf arf(2, 2);
-  for (int i = 0; i < 50; ++i) arf.on_success();
-  EXPECT_EQ(arf.rate_for_next(0.0), phy::Rate::kR11);
+  succeed(arf, 50);
+  EXPECT_EQ(next_rate(arf), phy::Rate::kR11);
 }
 
 TEST(ArfTest, DescendsWholeLadderUnderSustainedLoss) {
   Arf arf(10, 2);
-  arf.on_failure();
-  arf.on_failure();
-  EXPECT_EQ(arf.rate_for_next(0.0), phy::Rate::kR5_5);
-  arf.on_failure();
-  arf.on_failure();
-  EXPECT_EQ(arf.rate_for_next(0.0), phy::Rate::kR2);
-  arf.on_failure();
-  arf.on_failure();
-  EXPECT_EQ(arf.rate_for_next(0.0), phy::Rate::kR1);
+  fail(arf, 2);
+  EXPECT_EQ(next_rate(arf), phy::Rate::kR5_5);
+  fail(arf, 2);
+  EXPECT_EQ(next_rate(arf), phy::Rate::kR2);
+  fail(arf, 2);
+  EXPECT_EQ(next_rate(arf), phy::Rate::kR1);
 }
 
 TEST(ArfTest, IgnoresSnrHint) {
   // ARF is loss-based: the paper's point is precisely that it cannot tell
   // collisions from weak signal.
   Arf arf(10, 2);
-  EXPECT_EQ(arf.rate_for_next(-50.0), phy::Rate::kR11);
-  EXPECT_EQ(arf.rate_for_next(50.0), phy::Rate::kR11);
+  EXPECT_EQ(next_rate(arf, -50.0), phy::Rate::kR11);
+  EXPECT_EQ(next_rate(arf, 50.0), phy::Rate::kR11);
+}
+
+TEST(ArfTest, PlansSingleAttemptStages) {
+  // Legacy cadence contract: one attempt per plan, so the station re-plans
+  // (and ARF sees every outcome) before each retry — byte-identical to the
+  // old per-attempt API.
+  Arf arf(10, 2);
+  const TxPlan p = arf.plan({});
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p.total_attempts(), 1u);
 }
 
 TEST(ArfTest, Name) {

@@ -1,0 +1,96 @@
+// Conformance harness: every policy in the PolicyRegistry, whatever its
+// internals, must emit bounded retry chains and replay deterministically
+// from (config, stream_seed).  New policies get these guarantees checked
+// just by registering.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "rate/policy_registry.hpp"
+
+namespace wlan::rate {
+namespace {
+
+std::unique_ptr<RateController> make(const std::string& key,
+                                     std::uint64_t stream_seed) {
+  ControllerConfig cfg;
+  cfg.policy = key;
+  return PolicyRegistry::instance().make(cfg, stream_seed);
+}
+
+// Deterministic synthetic driver: advancing clock, periodic SNR hints, and
+// a fixed success pattern fed back at the plan's first-attempt rate.
+TxContext context_at(int step) {
+  TxContext ctx;
+  ctx.payload_bytes = 1024;
+  ctx.now = Microseconds{step * 7'000};
+  if (step % 7 == 0) ctx.snr_db = 5.0 + step % 30;
+  return ctx;
+}
+
+bool plans_equal(const TxPlan& a, const TxPlan& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.stage(i).rate != b.stage(i).rate ||
+        a.stage(i).attempts != b.stage(i).attempts) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(ConformanceTest, EveryPolicyEmitsBoundedPlans) {
+  for (const std::string& key : PolicyRegistry::instance().keys()) {
+    const auto ctl = make(key, 42);
+    for (int i = 0; i < 64; ++i) {
+      const TxContext ctx = context_at(i);
+      ctl->on_tick(ctx.now);
+      const TxPlan p = ctl->plan(ctx);
+      ASSERT_FALSE(p.empty()) << key;
+      ASSERT_LE(p.size(), TxPlan::kMaxStages) << key;
+      std::uint32_t total = 0;
+      for (std::size_t s = 0; s < p.size(); ++s) {
+        ASSERT_GE(p.stage(s).attempts, 1) << key << " stage " << s;
+        total += p.stage(s).attempts;
+      }
+      EXPECT_EQ(p.total_attempts(), total) << key;
+      // Past-end attempts clamp into the final stage, never out of range.
+      EXPECT_EQ(p.rate_for_attempt(total + 5), p.stage(p.size() - 1).rate)
+          << key;
+
+      TxFeedback fb;
+      fb.rate = p.rate_for_attempt(0);
+      fb.success = (i % 3) != 0;
+      fb.payload_bytes = ctx.payload_bytes;
+      fb.now = ctx.now;
+      ctl->on_tx_outcome(fb);
+    }
+  }
+}
+
+TEST(ConformanceTest, IdenticalSeedsReplayIdentically) {
+  for (const std::string& key : PolicyRegistry::instance().keys()) {
+    const auto a = make(key, 9001);
+    const auto b = make(key, 9001);
+    for (int i = 0; i < 300; ++i) {
+      const TxContext ctx = context_at(i);
+      a->on_tick(ctx.now);
+      b->on_tick(ctx.now);
+      const TxPlan pa = a->plan(ctx);
+      const TxPlan pb = b->plan(ctx);
+      ASSERT_TRUE(plans_equal(pa, pb)) << key << " step " << i;
+
+      TxFeedback fb;
+      fb.rate = pa.rate_for_attempt(0);
+      fb.success = (i % 5) != 0;
+      fb.payload_bytes = ctx.payload_bytes;
+      fb.now = ctx.now;
+      a->on_tx_outcome(fb);
+      b->on_tx_outcome(fb);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wlan::rate

@@ -1,57 +1,128 @@
-#include "rate/rate_controller.hpp"
+// PolicyRegistry construction paths and the TxPlan retry-chain mechanics.
+#include "rate/policy_registry.hpp"
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
+#include "feedback.hpp"
 #include "rate/fixed.hpp"
 
 namespace wlan::rate {
 namespace {
 
-TEST(FactoryTest, BuildsEveryPolicy) {
-  for (Policy p : {Policy::kArf, Policy::kAarf, Policy::kSnrThreshold,
-                   Policy::kFixed1, Policy::kFixed11}) {
-    ControllerConfig cfg;
-    cfg.policy = p;
-    const auto ctl = make_controller(cfg);
-    ASSERT_NE(ctl, nullptr);
-    EXPECT_EQ(ctl->name(), policy_name(p).substr(0, ctl->name().size()));
+using testing::next_rate;
+
+std::unique_ptr<RateController> make(const std::string& policy) {
+  ControllerConfig cfg;
+  cfg.policy = policy;
+  return PolicyRegistry::instance().make(cfg, /*stream_seed=*/1);
+}
+
+TEST(PolicyRegistryTest, BuildsEveryPolicy) {
+  const auto keys = PolicyRegistry::instance().keys();
+  ASSERT_EQ(keys.size(), 6u);  // arf aarf snr fixed1 fixed11 minstrel
+  for (const std::string& key : keys) {
+    const auto ctl = make(key);
+    ASSERT_NE(ctl, nullptr) << key;
+    EXPECT_FALSE(ctl->name().empty()) << key;
   }
 }
 
-TEST(FactoryTest, PolicyNamesDistinct) {
-  EXPECT_EQ(policy_name(Policy::kArf), "ARF");
-  EXPECT_EQ(policy_name(Policy::kAarf), "AARF");
-  EXPECT_EQ(policy_name(Policy::kSnrThreshold), "SNR");
-  EXPECT_EQ(policy_name(Policy::kFixed1), "FIXED-1");
-  EXPECT_EQ(policy_name(Policy::kFixed11), "FIXED-11");
+TEST(PolicyRegistryTest, DisplayNamesDistinct) {
+  const auto& reg = PolicyRegistry::instance();
+  EXPECT_EQ(reg.display_name("arf"), "ARF");
+  EXPECT_EQ(reg.display_name("aarf"), "AARF");
+  EXPECT_EQ(reg.display_name("snr"), "SNR");
+  EXPECT_EQ(reg.display_name("fixed1"), "FIXED-1");
+  EXPECT_EQ(reg.display_name("fixed11"), "FIXED-11");
+  EXPECT_EQ(reg.display_name("minstrel"), "MINSTREL");
+}
+
+TEST(PolicyRegistryTest, UnknownAndDuplicateThrow) {
+  ControllerConfig cfg;
+  cfg.policy = "carrier-pigeon";
+  EXPECT_THROW((void)PolicyRegistry::instance().make(cfg, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)PolicyRegistry::instance().display_name("nope"),
+               std::invalid_argument);
+  EXPECT_THROW(PolicyRegistry::instance().add(
+                   "arf", "ARF-AGAIN",
+                   [](const ControllerConfig&, std::uint64_t) {
+                     return std::unique_ptr<RateController>{};
+                   }),
+               std::invalid_argument);
 }
 
 TEST(FixedTest, NeverMoves) {
   Fixed fixed(phy::Rate::kR5_5);
-  for (int i = 0; i < 5; ++i) fixed.on_failure();
-  EXPECT_EQ(fixed.rate_for_next(0.0), phy::Rate::kR5_5);
-  for (int i = 0; i < 50; ++i) fixed.on_success();
-  EXPECT_EQ(fixed.rate_for_next(40.0), phy::Rate::kR5_5);
+  testing::fail(fixed, 5);
+  EXPECT_EQ(next_rate(fixed), phy::Rate::kR5_5);
+  testing::succeed(fixed, 50);
+  EXPECT_EQ(next_rate(fixed, 40.0), phy::Rate::kR5_5);
 }
 
-TEST(FactoryTest, FixedPoliciesPinTheConfiguredRate) {
-  ControllerConfig cfg;
-  cfg.policy = Policy::kFixed1;
-  EXPECT_EQ(make_controller(cfg)->rate_for_next(30.0), phy::Rate::kR1);
-  cfg.policy = Policy::kFixed11;
-  EXPECT_EQ(make_controller(cfg)->rate_for_next(-10.0), phy::Rate::kR11);
+TEST(PolicyRegistryTest, FixedPoliciesPinTheConfiguredRate) {
+  EXPECT_EQ(next_rate(*make("fixed1"), 30.0), phy::Rate::kR1);
+  EXPECT_EQ(next_rate(*make("fixed11"), -10.0), phy::Rate::kR11);
 }
 
-TEST(FactoryTest, ArfThresholdsRespected) {
+TEST(PolicyRegistryTest, ArfThresholdsRespected) {
   ControllerConfig cfg;
-  cfg.policy = Policy::kArf;
+  cfg.policy = "arf";
   cfg.up_threshold = 3;
   cfg.down_threshold = 1;
-  const auto ctl = make_controller(cfg);
-  ctl->on_failure();  // single failure drops with down_threshold = 1
-  EXPECT_EQ(ctl->rate_for_next(0.0), phy::Rate::kR5_5);
-  for (int i = 0; i < 3; ++i) ctl->on_success();
-  EXPECT_EQ(ctl->rate_for_next(0.0), phy::Rate::kR11);
+  const auto ctl = PolicyRegistry::instance().make(cfg, 1);
+  testing::fail(*ctl);  // single failure drops with down_threshold = 1
+  EXPECT_EQ(next_rate(*ctl), phy::Rate::kR5_5);
+  testing::succeed(*ctl, 3);
+  EXPECT_EQ(next_rate(*ctl), phy::Rate::kR11);
+}
+
+// --- TxPlan mechanics ------------------------------------------------------
+
+TEST(TxPlanTest, SingleStagePlan) {
+  const TxPlan p = TxPlan::single(phy::Rate::kR5_5);
+  EXPECT_EQ(p.size(), 1u);
+  EXPECT_EQ(p.total_attempts(), 1u);
+  EXPECT_EQ(p.rate_for_attempt(0), phy::Rate::kR5_5);
+}
+
+TEST(TxPlanTest, AttemptsWalkTheStages) {
+  TxPlan p;
+  p.push(phy::Rate::kR11, 2);
+  p.push(phy::Rate::kR5_5, 1);
+  p.push(phy::Rate::kR1, 3);
+  EXPECT_EQ(p.total_attempts(), 6u);
+  EXPECT_EQ(p.rate_for_attempt(0), phy::Rate::kR11);
+  EXPECT_EQ(p.rate_for_attempt(1), phy::Rate::kR11);
+  EXPECT_EQ(p.rate_for_attempt(2), phy::Rate::kR5_5);
+  EXPECT_EQ(p.rate_for_attempt(3), phy::Rate::kR1);
+  EXPECT_EQ(p.rate_for_attempt(5), phy::Rate::kR1);
+}
+
+TEST(TxPlanTest, PastEndClampsIntoFinalStage) {
+  TxPlan p;
+  p.push(phy::Rate::kR11, 1);
+  p.push(phy::Rate::kR2, 1);
+  EXPECT_EQ(p.rate_for_attempt(17), phy::Rate::kR2);
+}
+
+TEST(TxPlanTest, EmptyPlanFallsBackToBaseRate) {
+  const TxPlan p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.rate_for_attempt(0), phy::Rate::kR1);
+}
+
+TEST(TxPlanTest, PushBeyondCapacityAndZeroAttemptsIgnored) {
+  TxPlan p;
+  for (std::size_t i = 0; i < TxPlan::kMaxStages + 3; ++i) {
+    p.push(phy::Rate::kR11, 1);
+  }
+  EXPECT_EQ(p.size(), TxPlan::kMaxStages);
+  TxPlan q;
+  q.push(phy::Rate::kR11, 0);  // no-op
+  EXPECT_TRUE(q.empty());
 }
 
 }  // namespace

@@ -1,0 +1,34 @@
+// Shared helpers for driving RateControllers through the retry-chain API in
+// unit tests: ask for the next first-attempt rate, report ack/loss outcomes.
+#pragma once
+
+#include "rate/rate_controller.hpp"
+
+namespace wlan::rate::testing {
+
+/// First-stage rate of a fresh plan (what the old per-attempt API called
+/// rate_for_next).
+inline phy::Rate next_rate(RateController& c,
+                           std::optional<double> snr = std::nullopt) {
+  TxContext ctx;
+  ctx.snr_db = snr;
+  return c.plan(ctx).rate_for_attempt(0);
+}
+
+inline void outcome(RateController& c, bool success,
+                    phy::Rate rate = phy::Rate::kR11) {
+  TxFeedback fb;
+  fb.rate = rate;
+  fb.success = success;
+  c.on_tx_outcome(fb);
+}
+
+inline void succeed(RateController& c, int n = 1) {
+  for (int i = 0; i < n; ++i) outcome(c, true);
+}
+
+inline void fail(RateController& c, int n = 1) {
+  for (int i = 0; i < n; ++i) outcome(c, false);
+}
+
+}  // namespace wlan::rate::testing

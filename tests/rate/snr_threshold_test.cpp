@@ -2,19 +2,23 @@
 
 #include <gtest/gtest.h>
 
+#include "feedback.hpp"
 #include "phy/error_model.hpp"
 
 namespace wlan::rate {
 namespace {
 
+using testing::fail;
+using testing::next_rate;
+
 TEST(SnrThresholdTest, HighSnrSelectsEleven) {
   SnrThreshold ctl(0.9, 1024);
-  EXPECT_EQ(ctl.rate_for_next(30.0), phy::Rate::kR11);
+  EXPECT_EQ(next_rate(ctl, 30.0), phy::Rate::kR11);
 }
 
 TEST(SnrThresholdTest, VeryLowSnrFallsToOne) {
   SnrThreshold ctl(0.9, 1024);
-  EXPECT_EQ(ctl.rate_for_next(-5.0), phy::Rate::kR1);
+  EXPECT_EQ(next_rate(ctl, -5.0), phy::Rate::kR1);
 }
 
 TEST(SnrThresholdTest, ThresholdsMatchErrorModel) {
@@ -29,23 +33,31 @@ TEST(SnrThresholdTest, SelectionIsHighestFeasible) {
   // Just above the 5.5 threshold but below the 11 threshold.
   const double snr =
       (ctl.threshold_db(phy::Rate::kR5_5) + ctl.threshold_db(phy::Rate::kR11)) / 2;
-  EXPECT_EQ(ctl.rate_for_next(snr), phy::Rate::kR5_5);
+  EXPECT_EQ(next_rate(ctl, snr), phy::Rate::kR5_5);
+}
+
+TEST(SnrThresholdTest, OptimisticBeforeFirstMeasurement) {
+  // A fresh controller with no SNR in the context starts from its
+  // optimistic prior, not from the floor.
+  SnrThreshold ctl(0.9, 1024);
+  EXPECT_EQ(next_rate(ctl), phy::Rate::kR11);
 }
 
 TEST(SnrThresholdTest, RemembersLastKnownSnr) {
   SnrThreshold ctl(0.9, 1024);
-  EXPECT_EQ(ctl.rate_for_next(-5.0), phy::Rate::kR1);
-  // Sentinel "unknown" hint must reuse the remembered SNR, not reset.
-  EXPECT_EQ(ctl.rate_for_next(-200.0), phy::Rate::kR1);
+  EXPECT_EQ(next_rate(ctl, -5.0), phy::Rate::kR1);
+  // An absent hint (peer SNR unknown) must reuse the remembered SNR, not
+  // reset to the optimistic prior.
+  EXPECT_EQ(next_rate(ctl), phy::Rate::kR1);
 }
 
 TEST(SnrThresholdTest, IgnoresLossFeedback) {
   SnrThreshold ctl(0.9, 1024);
-  ctl.rate_for_next(30.0);
-  for (int i = 0; i < 10; ++i) ctl.on_failure();
+  (void)next_rate(ctl, 30.0);
+  fail(ctl, 10);
   // Still 11: collisions do not drag an SNR-based policy down (the paper's
   // recommended behaviour).
-  EXPECT_EQ(ctl.rate_for_next(30.0), phy::Rate::kR11);
+  EXPECT_EQ(next_rate(ctl, 30.0), phy::Rate::kR11);
 }
 
 TEST(SnrThresholdTest, TighterTargetNeedsMoreSnr) {

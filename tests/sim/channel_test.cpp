@@ -136,7 +136,7 @@ TEST(ChannelContention, FarStationUndergoesChannelErrors) {
   StationConfig sc;
   sc.position = {70, 0, 0};  // deep fringe at exponent 4.5
   sc.seed = 9;
-  sc.rate.policy = rate::Policy::kFixed11;  // force a fragile rate
+  sc.rate.policy = "fixed11";  // force a fragile rate
   auto& sta = net.add_station(6, sc);
   for (int k = 0; k < 50; ++k) sta.enqueue(data_to(ap.vap_addrs()[0], 1400));
   net.run_for(sec(5));

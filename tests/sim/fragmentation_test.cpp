@@ -148,7 +148,7 @@ TEST(FragmentationTest, SmallFragmentsSurviveNoisyLinkBetter) {
     sc.position = {10 + d, 10, 0};
     sc.seed = 5;
     sc.frag_threshold = threshold;
-    sc.rate.policy = rate::Policy::kFixed11;  // pin the fragile rate
+    sc.rate.policy = "fixed11";  // pin the fragile rate
     sc.queue_limit = 128;
     auto& sta = net.add_station(6, sc);
     for (int i = 0; i < 60; ++i) {

@@ -1,0 +1,83 @@
+#include "util/log_histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace wlan::util {
+namespace {
+
+TEST(LogHistogramTest, EmptyReadsZero) {
+  const LogHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+  EXPECT_EQ(h.percentile(1.0), 0u);
+}
+
+TEST(LogHistogramTest, SmallValuesAreExact) {
+  // The first octave stores 0..7 in dedicated sub-buckets.
+  for (std::uint64_t v = 0; v < 8; ++v) {
+    LogHistogram h;
+    h.record(v);
+    EXPECT_EQ(h.percentile(1.0), v);
+  }
+}
+
+TEST(LogHistogramTest, ResolutionBoundHolds) {
+  // Conservative readout: never under-reports, and over-reports by at most
+  // one sub-bucket (v/8) anywhere on the uint64 range.
+  const std::uint64_t values[] = {8,    9,          100,
+                                  1023, 4096,       123'456'789,
+                                  (std::uint64_t{1} << 40) + 12'345};
+  for (const std::uint64_t v : values) {
+    LogHistogram h;
+    h.record(v);
+    const std::uint64_t p = h.percentile(1.0);
+    EXPECT_GE(p, v);
+    EXPECT_LE(p, v + v / 8);
+  }
+}
+
+TEST(LogHistogramTest, PercentilesMonotonicAndClamped) {
+  LogHistogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_LE(h.percentile(0.5), h.percentile(0.9));
+  EXPECT_LE(h.percentile(0.9), h.percentile(0.99));
+  EXPECT_LE(h.percentile(0.99), h.percentile(1.0));
+  // Median of 1..1000 reads within one sub-bucket of 500.
+  EXPECT_GE(h.percentile(0.5), 500u);
+  EXPECT_LE(h.percentile(0.5), 500u + 500u / 8);
+  // Out-of-range quantiles clamp.
+  EXPECT_EQ(h.percentile(-0.5), h.percentile(0.0));
+  EXPECT_EQ(h.percentile(7.0), h.percentile(1.0));
+}
+
+TEST(LogHistogramTest, MergeMatchesSingleRecording) {
+  LogHistogram a, b, all;
+  for (std::uint64_t v = 1; v <= 500; ++v) {
+    a.record(v * 3);
+    all.record(v * 3);
+  }
+  for (std::uint64_t v = 1; v <= 300; ++v) {
+    b.record(v * 11);
+    all.record(v * 11);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  for (const double q : {0.1, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(a.percentile(q), all.percentile(q)) << "q=" << q;
+  }
+}
+
+TEST(LogHistogramTest, WeightedRecord) {
+  LogHistogram h;
+  h.record(5, 10);
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_EQ(h.percentile(0.5), 5u);
+  EXPECT_EQ(h.percentile(1.0), 5u);
+}
+
+}  // namespace
+}  // namespace wlan::util
