@@ -63,10 +63,14 @@ struct Timing {
 
 template <class Fn>
 Timing timed(Fn&& fn) {
+  // wlan-lint: allow(wall-clock) — bench harness timing; never feeds sim
   const auto w0 = std::chrono::steady_clock::now();
+  // wlan-lint: allow(wall-clock) — bench harness timing; never feeds sim
   const std::clock_t c0 = std::clock();
   fn();
+  // wlan-lint: allow(wall-clock) — bench harness timing; never feeds sim
   const std::clock_t c1 = std::clock();
+  // wlan-lint: allow(wall-clock) — bench harness timing; never feeds sim
   const auto w1 = std::chrono::steady_clock::now();
   Timing t;
   t.wall_ns = std::chrono::duration<double, std::nano>(w1 - w0).count();
@@ -195,6 +199,8 @@ int main(int argc, char** argv) {
     Row r;
     r.name = "BM_RngNext";
     r.iterations = 1 << 26;
+    // wlan-lint: allow(rng-seed) — calibration stream; fixed by contract
+    // so the normalized baseline comparison is stable across checkouts
     util::Rng rng(1);
     std::uint64_t acc = 0;
     r.t = timed([&] {

@@ -21,12 +21,15 @@ namespace {
 using namespace wlan;
 
 void BM_RngNext(benchmark::State& state) {
+  // wlan-lint: allow(rng-seed) — single fixed micro-bench stream; BM_RngNext
+  // is the cross-machine normalization anchor (scripts/perf_guard.py)
   util::Rng rng(1);
   for (auto _ : state) benchmark::DoNotOptimize(rng.next());
 }
 BENCHMARK(BM_RngNext);
 
 void BM_RngExponential(benchmark::State& state) {
+  // wlan-lint: allow(rng-seed) — single fixed micro-bench stream
   util::Rng rng(1);
   for (auto _ : state) benchmark::DoNotOptimize(rng.exponential(0.125));
 }
@@ -54,6 +57,7 @@ BENCHMARK(BM_CbtComputation);
 
 void BM_EventQueueScheduleRun(benchmark::State& state) {
   sim::EventQueue q;
+  // wlan-lint: allow(rng-seed) — single fixed micro-bench stream
   util::Rng rng(3);
   std::int64_t t = 0;
   for (auto _ : state) {

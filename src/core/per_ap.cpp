@@ -20,9 +20,9 @@ std::vector<ApActivity> ap_activity(const trace::Trace& trace) {
   // mac::Addr is 16-bit, so the per-station lookups — one per record on a
   // multi-hundred-thousand-record conference capture — use flat tables
   // instead of hash maps.  Only sums and last-writer-wins assignments read
-  // them, so the change cannot reorder any output.  (acc stays a hash map:
-  // its iteration order feeds the frames-descending sort below, where it
-  // breaks ties.)
+  // them, so the change cannot reorder any output.  (acc stays a hash map
+  // for aggregation only; the output sort below is a total order, so acc's
+  // iteration order never reaches the result.)
   std::vector<std::uint8_t> is_bssid(std::size_t{mac::kBroadcast} + 1, 0);
   std::vector<mac::Addr> client_bssid(std::size_t{mac::kBroadcast} + 1,
                                       mac::kNoAddr);
@@ -80,9 +80,16 @@ std::vector<ApActivity> ap_activity(const trace::Trace& trace) {
 
   std::vector<ApActivity> out;
   out.reserve(acc.size());
+  // wlan-lint: allow(unordered-iteration) — the composite sort below is a
+  // total order (frames desc, bssid asc), so extraction order is irrelevant
   for (auto& [addr, ap] : acc) out.push_back(ap);
+  // Frames descending with the BSSID as tiebreak.  The tiebreak is load-
+  // bearing: without it, equal-frame APs (symmetric scenarios tie often)
+  // would keep hash-iteration order — deterministic on one libstdc++ but
+  // not a property of the standard, and not stable across toolchains.
   std::sort(out.begin(), out.end(), [](const ApActivity& a, const ApActivity& b) {
-    return a.frames > b.frames;
+    if (a.frames != b.frames) return a.frames > b.frames;
+    return a.bssid < b.bssid;
   });
   return out;
 }
@@ -108,6 +115,8 @@ std::vector<UserCountPoint> user_count_series(const trace::Trace& trace,
 
   auto sample = [&](std::int64_t at) {
     std::size_t users = 0;
+    // wlan-lint: allow(unordered-iteration) — expiry scan: erases stale
+    // entries and counts survivors; both are visit-order-independent
     for (auto it = last_seen.begin(); it != last_seen.end();) {
       if (at - it->second > cfg.idle_timeout.count()) {
         it = last_seen.erase(it);

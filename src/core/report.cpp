@@ -49,6 +49,8 @@ void FigureAccumulator::add_acceptance(double utilization_pct,
 
 void FigureAccumulator::add_senders(
     const std::unordered_map<mac::Addr, SenderStats>& senders) {
+  // wlan-lint: allow(unordered-iteration) — keyed merge of commutative
+  // sums (+=) and an or-fold; the aggregate is visit-order-independent
   for (const auto& [addr, st] : senders) {
     SenderStats& agg = senders_[addr];
     agg.data_tx += st.data_tx;
@@ -75,6 +77,8 @@ void FigureAccumulator::merge(const FigureAccumulator& other) {
   }
   queue_delay_.merge(other.queue_delay_);
   service_delay_.merge(other.service_delay_);
+  // wlan-lint: allow(unordered-iteration) — keyed merge of commutative
+  // sums (+=) and an or-fold; the aggregate is visit-order-independent
   for (const auto& [addr, st] : other.senders_) {
     SenderStats& agg = senders_[addr];
     agg.data_tx += st.data_tx;
@@ -201,6 +205,8 @@ RtsFairness FigureAccumulator::rts_fairness() const {
   // mechanism unfair to its few adopters under congestion.
   RtsFairness fair;
   std::uint64_t rts_tx = 0, rts_acked = 0, other_tx = 0, other_acked = 0;
+  // wlan-lint: allow(unordered-iteration) — accumulates commutative sums
+  // and counts only; no output ordering derives from the visit order
   for (const auto& [addr, st] : senders_) {
     if (st.data_tx == 0) continue;
     if (st.uses_rtscts) {

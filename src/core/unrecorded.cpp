@@ -34,6 +34,9 @@ UnrecordedReport estimate_unrecorded(const trace::Trace& trace,
   }
 
   std::unordered_map<mac::Addr, ApUnrecorded> per_ap;
+  // wlan-lint: allow(unordered-iteration) — pre-seeds per_ap[b].bssid = b
+  // for each key; each write is keyed by the visited element, so visit
+  // order cannot change the resulting map contents
   for (mac::Addr b : bssids) per_ap[b].bssid = b;
 
   // A client's most recent BSSID, for attributing misses of client frames.
@@ -145,10 +148,15 @@ UnrecordedReport estimate_unrecorded(const trace::Trace& trace,
   }
 
   report.per_ap.reserve(per_ap.size());
+  // wlan-lint: allow(unordered-iteration) — the composite sort below is a
+  // total order (captured desc, bssid asc), so extraction order is irrelevant
   for (auto& [addr, ap] : per_ap) report.per_ap.push_back(ap);
+  // BSSID tiebreak makes equal-captured APs order deterministically across
+  // standard libraries instead of inheriting hash-iteration order.
   std::sort(report.per_ap.begin(), report.per_ap.end(),
             [](const ApUnrecorded& a, const ApUnrecorded& b) {
-              return a.captured > b.captured;
+              if (a.captured != b.captured) return a.captured > b.captured;
+              return a.bssid < b.bssid;
             });
   return report;
 }

@@ -19,6 +19,10 @@ namespace wlan::exp {
 
 namespace {
 
+// The runner's wall_ms manifest column and progress lines time the host,
+// not the simulation; no simulated state ever reads this clock.  The
+// obs_killswitch_check compares outputs "modulo wall_ms" for this reason.
+// wlan-lint: allow(wall-clock) — host-side run timing (wall_ms column)
 using Clock = std::chrono::steady_clock;
 
 double ms_since(Clock::time_point t0) {

@@ -50,6 +50,7 @@ TraceLog& TraceLog::instance() {
 void TraceLog::enable() {
   std::lock_guard<std::mutex> lock(mu_);
   if (enabled_.load(std::memory_order_relaxed)) return;
+  // wlan-lint: allow(wall-clock) — spans measure host wall time by design
   epoch_ = std::chrono::steady_clock::now();
   enabled_.store(true, std::memory_order_release);
 }
@@ -58,6 +59,8 @@ std::uint64_t TraceLog::now_us() const {
   if (!enabled()) return 0;
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
+          // wlan-lint: allow(wall-clock) — span timestamps are host wall
+          // time (Chrome trace JSON); they never feed simulation state
           std::chrono::steady_clock::now() - epoch_)
           .count());
 }

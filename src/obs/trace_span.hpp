@@ -75,6 +75,7 @@ class TraceLog {
   };
 
   std::atomic<bool> enabled_{false};
+  // wlan-lint: allow(wall-clock) — span epoch; wall time is the point
   std::chrono::steady_clock::time_point epoch_{};
   std::mutex mu_;
   std::vector<Event> events_;

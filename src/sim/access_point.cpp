@@ -36,6 +36,7 @@ void AccessPoint::deregister_client(mac::Addr client) {
 
 std::size_t AccessPoint::association_count(mac::Addr vap) const {
   std::size_t n = 0;
+  // wlan-lint: allow(unordered-iteration) — pure count; order-independent
   for (const auto& [sta, v] : assoc_) {
     if (v == vap) ++n;
   }

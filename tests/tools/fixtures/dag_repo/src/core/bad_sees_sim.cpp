@@ -1,0 +1,5 @@
+// Fixture: the repo's invariant 1 — core must not depend on sim; the
+// analyzers consume trace::Trace only.  This edge must fire layer-dag.
+#include "core/analyzer.hpp"  // ok: core -> core
+#include "sim/network.hpp"    // fires: core -> sim is not in the DAG
+#include "trace/record.hpp"   // ok: core -> trace

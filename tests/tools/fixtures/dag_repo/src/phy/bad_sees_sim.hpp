@@ -1,0 +1,6 @@
+// Fixture: phy must not include sim — this edge must fire layer-dag.
+#pragma once
+
+#include "sim/channel.hpp"   // fires: phy -> sim is not in the DAG
+#include "obs/metrics.hpp"   // ok: phy -> obs
+#include "util/rng.hpp"      // ok: phy -> util (transitive closure)

@@ -1,0 +1,10 @@
+// Fixture: all edges legal (sim sees trace/mac/rate/phy/obs/util);
+// must produce zero layer-dag findings.
+#include "sim/event_queue.hpp"
+#include "mac/frame.hpp"
+#include "rate/rate_controller.hpp"
+#include "phy/propagation.hpp"
+#include "obs/metrics.hpp"
+#include "trace/record.hpp"
+#include "util/rng.hpp"
+#include <vector>

@@ -1,0 +1,5 @@
+// Fixture: util must not include obs — this edge must fire layer-dag.
+#pragma once
+
+#include "obs/metrics.hpp"   // fires: util -> obs is not in the DAG
+#include "util/rng.hpp"      // ok: util -> util

@@ -1,0 +1,33 @@
+// Fixture: every construction below must fire the rng-seed rule.
+#include <ctime>
+
+#include "util/rng.hpp"
+
+namespace fixture {
+
+double bad_literal() {
+  wlan::util::Rng rng(12345);  // fires: literal seed
+  return rng.uniform01();
+}
+
+double bad_hex_literal() {
+  wlan::util::Rng rng{0xDEADBEEFULL};  // fires: literal seed (hex, braces)
+  return rng.uniform01();
+}
+
+double bad_literal_xor() {
+  wlan::util::Rng rng(0x1234ULL ^ 42);  // fires: literals only
+  return rng.uniform01();
+}
+
+double bad_wall_clock_seed() {
+  wlan::util::Rng rng(time(nullptr));  // fires: wall-clock seed
+  return rng.uniform01();
+}
+
+struct BadMember {
+  explicit BadMember() : rng_(99) {}  // fires: literal init-list seed
+  wlan::util::Rng rng_;
+};
+
+}  // namespace fixture

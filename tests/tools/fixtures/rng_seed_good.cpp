@@ -1,0 +1,33 @@
+// Fixture: must produce zero rng-seed findings.
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace fixture {
+
+struct Config {
+  std::uint64_t seed = 0;
+};
+
+double good_mix_seed(const Config& cfg) {
+  wlan::util::Rng rng(wlan::util::mix_seed(cfg.seed, 7));
+  return rng.uniform01();
+}
+
+double good_config_seed(const Config& cfg) {
+  wlan::util::Rng rng(cfg.seed ^ 0xCE11ULL);  // config-derived: ok
+  return rng.uniform01();
+}
+
+struct GoodMember {
+  explicit GoodMember(std::uint64_t stream_seed) : rng_(stream_seed) {}
+  wlan::util::Rng rng_;
+};
+
+double suppressed_literal() {
+  // wlan-lint: allow(rng-seed) — fixture for the suppression path
+  wlan::util::Rng rng(1);
+  return rng.uniform01();
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: a suppression without a reason is itself a finding, and it does
+// NOT suppress the underlying diagnostic.
+#include <chrono>
+
+namespace fixture {
+
+long reasonless() {
+  // wlan-lint: allow(wall-clock)
+  auto t = std::chrono::steady_clock::now();  // still fires
+  return t.time_since_epoch().count();
+}
+
+long unknown_rule() {
+  // wlan-lint: allow(no-such-rule) — typo'd rule names must be reported
+  auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count();
+}
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Fixture: both loops below must fire the unordered-iteration rule.
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+void bad_range_for() {
+  std::unordered_map<int, double> acc;
+  acc[1] = 2.0;
+  for (const auto& [k, v] : acc) {  // fires: range-for over unordered_map
+    std::printf("%d %f\n", k, v);
+  }
+}
+
+void bad_iterator_walk() {
+  std::unordered_set<std::string> seen;
+  seen.insert("x");
+  for (auto it = seen.begin(); it != seen.end(); ++it) {  // fires: .begin()
+    std::printf("%s\n", it->c_str());
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,38 @@
+// Fixture: must produce zero unordered-iteration findings.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+void lookups_only() {
+  std::unordered_map<int, double> table;
+  table[7] = 1.0;
+  // Point lookups never depend on iteration order.
+  auto it = table.find(7);
+  if (it != table.end()) std::printf("%f\n", it->second);
+}
+
+void ordered_map_is_fine() {
+  std::map<int, double> sorted_table;
+  sorted_table[1] = 2.0;
+  for (const auto& [k, v] : sorted_table) std::printf("%d %f\n", k, v);
+}
+
+void vector_begin_is_fine(const std::vector<int>& xs) {
+  std::printf("%d\n", *std::min_element(xs.begin(), xs.end()));
+}
+
+void annotated_order_independent() {
+  std::unordered_map<int, long> counts;
+  counts[3] = 4;
+  long total = 0;
+  // wlan-lint: allow(unordered-iteration) — commutative sum; visit order
+  // cannot change the total
+  for (const auto& [k, v] : counts) total += v;
+  std::printf("%ld\n", total);
+}
+
+}  // namespace fixture

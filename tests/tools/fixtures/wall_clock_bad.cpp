@@ -1,0 +1,34 @@
+// Fixture: every line below must fire the wall-clock rule.
+// Never compiled — scanned by tests/tools/wlan_lint_test.py.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+long bad_steady() {
+  auto t = std::chrono::steady_clock::now();  // fires: steady_clock
+  return t.time_since_epoch().count();
+}
+
+long bad_system() {
+  auto t = std::chrono::system_clock::now();  // fires: system_clock
+  return t.time_since_epoch().count();
+}
+
+unsigned bad_random_device() {
+  std::random_device rd;  // fires: random_device
+  return rd();
+}
+
+int bad_rand() {
+  srand(42);       // fires: srand
+  return rand();   // fires: rand
+}
+
+long bad_time() {
+  return time(nullptr);  // fires: time(
+}
+
+}  // namespace fixture

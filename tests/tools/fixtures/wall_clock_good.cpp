@@ -1,0 +1,26 @@
+// Fixture: must produce zero wall-clock findings.
+// One suppressed legitimate site, plus look-alikes that must NOT fire:
+// comments, strings, and identifiers that merely contain "time".
+#include <chrono>
+#include <cstdint>
+
+namespace fixture {
+
+// Mentioning std::chrono::steady_clock in a comment must not fire.
+constexpr const char* kDoc = "std::chrono::steady_clock in a string";
+
+std::int64_t simulated_time(std::int64_t now_us) {
+  // time_us, end_time(x) style identifiers must not fire.
+  const std::int64_t end_time_us = now_us + 10;
+  return end_time_us;
+}
+
+std::int64_t end_time(std::int64_t t) { return t; }
+
+double wall_probe() {
+  // wlan-lint: allow(wall-clock) — host-side progress timing fixture
+  const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}
+
+}  // namespace fixture
