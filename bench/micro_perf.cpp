@@ -102,7 +102,7 @@ void BM_AnalyzeTrace(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(analyzer.analyze(result.trace));
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+  state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(result.trace.records.size()));
 }
 BENCHMARK(BM_AnalyzeTrace)->Unit(benchmark::kMillisecond);
@@ -129,7 +129,7 @@ void BM_StreamingAnalyzeDrain(benchmark::State& state) {
     acc.add_senders(analysis.senders);
     benchmark::DoNotOptimize(acc);
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+  state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(result.trace.records.size()));
 }
 BENCHMARK(BM_StreamingAnalyzeDrain)->Unit(benchmark::kMillisecond);
@@ -148,7 +148,7 @@ void BM_MergeSnifferTraces(benchmark::State& state) {
     benchmark::DoNotOptimize(trace::merge_sniffer_traces(result.sniffer_traces));
   }
   state.SetItemsProcessed(
-      static_cast<std::int64_t>(state.iterations()) *
+      state.iterations() *
       static_cast<std::int64_t>(result.sniffer_traces[0].records.size() +
                                 result.sniffer_traces[1].records.size()));
 }
@@ -174,7 +174,7 @@ void BM_PcapReaderStream(benchmark::State& state) {
     benchmark::DoNotOptimize(records);
   }
   std::remove(path.c_str());
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+  state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(records));
 }
 BENCHMARK(BM_PcapReaderStream)->Unit(benchmark::kMillisecond);

@@ -255,8 +255,7 @@ void StreamingAnalyzer::process(const trace::CaptureRecord& r,
     ++result_.senders[r.src].data_acked;
 
     AcceptanceSample sample;
-    sample.second = static_cast<std::int64_t>(
-        (ack_rec.time_us - start_us_) / 1'000'000);
+    sample.second = (ack_rec.time_us - start_us_) / 1'000'000;
     sample.category = cat;
     sample.delay_us =
         static_cast<double>(ack_rec.time_us - it->second.first_tx_us);
