@@ -22,9 +22,19 @@ cd "$(dirname "$0")/.."
 
 JOBS="${CTEST_PARALLEL_LEVEL:-$(nproc 2>/dev/null || echo 2)}"
 
+# Repo-specific static rules (determinism hazards, RNG seed discipline,
+# layer DAG — docs/STATIC_ANALYSIS.md).  Needs no build, so it runs first:
+# a layering or wall-clock violation fails in <1 s, not after a compile.
+echo "lint: tools/wlan_lint.py over src/ bench/ examples/"
+python3 tools/wlan_lint.py
+
 cmake -B build -S .
 cmake --build build -j
 (cd build && ctest --output-on-failure -LE stress -j "$JOBS")
+
+# clang-tidy, baseline-gated (scripts/clang_tidy_baseline.txt).  Soft-skips
+# on machines without LLVM; the dedicated CI job runs it unconditionally.
+python3 scripts/clang_tidy_check.py --build-dir build --if-available
 
 echo "smoke: bench_fig06_throughput_goodput --threads 2 --seeds 1 --duration 4"
 ./build/bench_fig06_throughput_goodput --threads 2 --seeds 1 --duration 4 \

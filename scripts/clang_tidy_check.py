@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Baseline-gated clang-tidy runner (docs/STATIC_ANALYSIS.md).
+
+Runs clang-tidy (config: the repo's .clang-tidy) over every first-party
+translation unit in compile_commands.json, normalizes the findings to
+`path:check-name:message-head` keys that survive line-number churn, and
+compares them against scripts/clang_tidy_baseline.txt:
+
+  * a finding NOT in the baseline fails the run (new debt is rejected);
+  * a baseline entry that no longer fires is reported so the baseline can
+    be shrunk (ratchet down, never up).
+
+Usage:
+    scripts/clang_tidy_check.py --build-dir build [--update-baseline]
+                                [--jobs N] [--clang-tidy BINARY]
+
+Exit status: 0 clean / baseline-covered, 1 new findings, 2 environment
+error (missing clang-tidy is an error in CI but a soft skip with
+--if-available, so developer machines without LLVM don't fail check.sh).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+REPO = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
+BASELINE = os.path.join(REPO, "scripts", "clang_tidy_baseline.txt")
+
+# clang-tidy diagnostic line:  /abs/path/file.cpp:12:34: warning: msg [check]
+DIAG_RE = re.compile(
+    r"^(?P<path>[^:\n]+):(?P<line>\d+):(?P<col>\d+):\s+"
+    r"(?P<sev>warning|error):\s+(?P<msg>.*?)\s+\[(?P<check>[\w.,-]+)\]\s*$")
+
+FIRST_PARTY = ("src/", "bench/", "examples/")
+
+
+def normalize(path: str, check: str, msg: str) -> str:
+    """Stable finding key: repo-relative path, check, first 60 chars of the
+    message (line numbers churn on every unrelated edit; messages rarely)."""
+    rel = os.path.relpath(os.path.abspath(path), REPO)
+    head = re.sub(r"\s+", " ", msg.strip())[:60]
+    return f"{rel}|{check}|{head}"
+
+
+def load_compile_commands(build_dir: str):
+    ccpath = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(ccpath):
+        print(f"error: {ccpath} not found — configure CMake first "
+              "(compile_commands.json is exported by default)",
+              file=sys.stderr)
+        sys.exit(2)
+    with open(ccpath, encoding="utf-8") as f:
+        entries = json.load(f)
+    files = []
+    for e in entries:
+        rel = os.path.relpath(os.path.abspath(e["file"]), REPO)
+        if rel.startswith(FIRST_PARTY):
+            files.append(e["file"])
+    return sorted(set(files))
+
+
+def run_one(args):
+    binary, build_dir, path = args
+    proc = subprocess.run(
+        [binary, "-p", build_dir, "--quiet", path],
+        capture_output=True, text=True)
+    findings = set()
+    for line in proc.stdout.splitlines():
+        m = DIAG_RE.match(line)
+        if not m:
+            continue
+        fpath = m.group("path")
+        rel = os.path.relpath(os.path.abspath(fpath), REPO)
+        if not rel.startswith(FIRST_PARTY):
+            continue  # system/GTest headers
+        for check in m.group("check").split(","):
+            findings.add(normalize(fpath, check.strip(), m.group("msg")))
+    return path, findings, proc.returncode
+
+
+def read_baseline():
+    """Returns (keys, bootstrap).  A `# mode: bootstrap` directive means no
+    real clang-tidy run has seeded the baseline yet: findings are reported
+    and a suggested baseline is written, but the run does not fail.  Commit
+    the suggested file (dropping the directive) to arm the ratchet."""
+    if not os.path.exists(BASELINE):
+        return set(), False
+    keys = set()
+    bootstrap = False
+    with open(BASELINE, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if line == "# mode: bootstrap":
+                bootstrap = True
+            elif line and not line.startswith("#"):
+                keys.add(line)
+    return keys, bootstrap
+
+
+def write_baseline(keys):
+    with open(BASELINE, "w", encoding="utf-8") as f:
+        f.write("# clang-tidy baseline — known findings that do not fail CI.\n"
+                "# Managed by scripts/clang_tidy_check.py --update-baseline.\n"
+                "# Ratchet DOWN only: fix a finding, delete its line.  Adding\n"
+                "# lines here needs the same justification as a wlan-lint\n"
+                "# suppression (docs/STATIC_ANALYSIS.md).\n")
+        for k in sorted(keys):
+            f.write(k + "\n")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--clang-tidy", default=None,
+                    help="clang-tidy binary (default: first of clang-tidy, "
+                         "clang-tidy-18..14 on PATH)")
+    ap.add_argument("--jobs", type=int,
+                    default=max(1, multiprocessing.cpu_count() - 1))
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="rewrite scripts/clang_tidy_baseline.txt with the "
+                         "current findings")
+    ap.add_argument("--if-available", action="store_true",
+                    help="exit 0 with a notice when clang-tidy is missing "
+                         "(for local check.sh; CI must not pass this)")
+    args = ap.parse_args()
+
+    binary = args.clang_tidy
+    if binary is None:
+        candidates = ["clang-tidy"] + [
+            f"clang-tidy-{v}" for v in range(18, 13, -1)]
+        binary = next((c for c in candidates if shutil.which(c)), None)
+    if binary is None or not shutil.which(binary):
+        msg = "clang-tidy not found on PATH"
+        if args.if_available:
+            print(f"clang_tidy_check: {msg}; skipping (--if-available)")
+            return 0
+        print(f"error: {msg}", file=sys.stderr)
+        return 2
+
+    files = load_compile_commands(args.build_dir)
+    if not files:
+        print("error: no first-party files in compile_commands.json",
+              file=sys.stderr)
+        return 2
+
+    print(f"clang_tidy_check: {binary} over {len(files)} TUs "
+          f"({args.jobs} jobs)")
+    current = set()
+    with multiprocessing.Pool(args.jobs) as pool:
+        for path, findings, _rc in pool.imap_unordered(
+                run_one, [(binary, args.build_dir, f) for f in files]):
+            current |= findings
+
+    if args.update_baseline:
+        write_baseline(current)
+        print(f"clang_tidy_check: baseline rewritten "
+              f"({len(current)} finding(s))")
+        return 0
+
+    baseline, bootstrap = read_baseline()
+    new = current - baseline
+    fixed = baseline - current
+    for k in sorted(new):
+        path, check, head = k.split("|", 2)
+        print(f"NEW  {path}: [{check}] {head}")
+    for k in sorted(fixed):
+        path, check, head = k.split("|", 2)
+        print(f"GONE {path}: [{check}] {head}  "
+              "(delete from scripts/clang_tidy_baseline.txt)")
+    print(f"clang_tidy_check: {len(current)} finding(s), "
+          f"{len(new)} new, {len(fixed)} fixed-but-still-baselined")
+    if new and bootstrap:
+        suggested = os.path.join(args.build_dir,
+                                 "clang_tidy_suggested_baseline.txt")
+        with open(suggested, "w", encoding="utf-8") as f:
+            for k in sorted(current):
+                f.write(k + "\n")
+        print(f"clang_tidy_check: baseline is in bootstrap mode — NOT "
+              f"failing.  Review {suggested}, commit it as "
+              "scripts/clang_tidy_baseline.txt (without `# mode: "
+              "bootstrap`) to arm the ratchet.")
+        return 0
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
