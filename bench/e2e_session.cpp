@@ -53,7 +53,8 @@ constexpr obs::Id kGuardedCounters[] = {
     obs::Id::kEventsExecuted,        obs::Id::kTransmissions,
     obs::Id::kDeliveryChanceDraws,   obs::Id::kFrameSuccessEvals,
     obs::Id::kDbmToMwEvals,          obs::Id::kSnifferFramesCaptured,
-    obs::Id::kStationsRemoved,
+    obs::Id::kStationsRemoved,       obs::Id::kLinkCacheStationMutations,
+    obs::Id::kLinkCacheSnifferRegistrations,
 };
 
 struct Timing {

@@ -45,6 +45,18 @@ test -s build/smoke/fig06_manifest.csv
 test -s build/smoke/fig06_metrics.csv
 echo "smoke: OK (build/smoke/fig06_manifest.csv)"
 
+# Channel-shard determinism spot-check: the same sweep with --shards 2 must
+# produce byte-identical figure and metrics CSVs (the manifest is excluded
+# only because it embeds wall-clock timing columns).  The full 1/2/3-shard
+# matrix lives in exp.runner_determinism_test and sim.sharding_oracle_test;
+# this catches a broken shard barrier on every check without a second build.
+echo "smoke: 2-shard determinism spot-check vs build/smoke"
+./build/bench_fig06_throughput_goodput --threads 2 --shards 2 --seeds 1 \
+    --duration 4 --quiet --out-dir build/smoke_shards > /dev/null
+cmp build/smoke/fig06.csv build/smoke_shards/fig06.csv
+cmp build/smoke/fig06_metrics.csv build/smoke_shards/fig06_metrics.csv
+echo "smoke: OK (2-shard outputs byte-identical)"
+
 # Observability smoke: the per-run metrics snapshot and the --trace-out
 # span dump must both be well-formed JSON; the trace must hold one complete
 # ("ph":"X") event per run.  In a -DWLAN_OBS=OFF build the trace file is

@@ -31,6 +31,8 @@ void dump_trace_at_exit() {
   std::fprintf(out, "%.*s\n\n", static_cast<int>(what.size()), what.data());
   std::fprintf(out,
                "  --threads N     worker threads (default: all cores)\n"
+               "  --shards N      per-run channel-shard worker threads\n"
+               "                  (output is byte-identical for any N)\n"
                "  --seeds N       seed repeats per grid point\n"
                "  --duration S    per-run simulated seconds\n"
                "  --out-dir DIR   where CSV series + manifests land (default .)\n"
@@ -71,6 +73,12 @@ BenchArgs parse_bench_args(int argc, char** argv, std::string_view what,
       args.threads = std::atoi(value());
       if (args.threads < 1) {
         std::fprintf(stderr, "--threads wants a positive integer\n");
+        usage(what, 2);
+      }
+    } else if (flag == "--shards") {
+      args.shards = std::atoi(value());
+      if (args.shards < 1) {
+        std::fprintf(stderr, "--shards wants a positive integer\n");
         usage(what, 2);
       }
     } else if (flag == "--seeds") {
@@ -151,6 +159,7 @@ BenchArgs parse_bench_args(int argc, char** argv, std::string_view what,
 
 void apply_args(const BenchArgs& args, ExperimentSpec& spec) {
   if (args.seeds > 0) spec.seeds_per_point = args.seeds;
+  if (args.shards > 0) spec.shards = args.shards;
   if (args.duration_s > 0.0) spec.duration_s = args.duration_s;
   if (!args.churn_rates.empty()) spec.churn_rates = args.churn_rates;
   if (!args.rate_policies.empty()) spec.rate_policies = args.rate_policies;

@@ -53,6 +53,8 @@ RunOutput run_session_scenario(const RunSpec& run, workload::SessionKind kind,
   cfg.rate = run.cell.rate;
   cfg.timing = run.cell.timing;
   cfg.scalar_reception = run.cell.scalar_reception;
+  cfg.shards = run.cell.shards;
+  cfg.single_queue = run.cell.single_queue;
   if (churn) {
     cfg.churn_turnover_per_min = run.churn_rate > 0.0 ? run.churn_rate : 1.0;
   }

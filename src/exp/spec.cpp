@@ -35,6 +35,32 @@ std::vector<RunSpec> expand(const ExperimentSpec& spec) {
   if (spec.seeds_per_point < 1) {
     throw std::invalid_argument("ExperimentSpec: seeds_per_point must be >= 1");
   }
+  // The churn axis is only meaningful on the dynamic-population scenarios
+  // (the "-churn" registry keys).  Anywhere it cannot vary behavior, a
+  // multi-valued axis would silently multiply the grid with duplicate runs
+  // — fail loudly instead (KNOWN_ISSUES PR 5 triage).
+  const std::string& scen = spec.scenario;
+  const bool churn_scenario =
+      scen.size() >= 6 && scen.compare(scen.size() - 6, 6, "-churn") == 0;
+  if (!churn_scenario && spec.churn_rates.size() > 1) {
+    throw std::invalid_argument(
+        "ExperimentSpec: scenario \"" + scen +
+        "\" has a static population and ignores the churn_rates axis; a "
+        "multi-valued churn_rates axis would only duplicate every run "
+        "(drop the axis or use a *-churn scenario)");
+  }
+  std::size_t non_positive = 0;
+  for (double churn : spec.churn_rates) {
+    if (churn <= 0.0) ++non_positive;
+  }
+  if (non_positive > 1) {
+    throw std::invalid_argument(
+        "ExperimentSpec: churn_rates axis for scenario \"" + scen + "\" has " +
+        std::to_string(non_positive) +
+        " non-positive values; a churn scenario substitutes its default "
+        "turnover for every value <= 0, so those arms would be duplicate "
+        "runs (keep at most one)");
+  }
   // Validate axis names up front: one bad key fails the whole expansion
   // before any run starts, with the registry's own known-keys message.
   for (const std::string& policy : spec.rate_policies) {
@@ -86,6 +112,7 @@ std::vector<RunSpec> expand(const ExperimentSpec& spec) {
                 run.cell = spec.base;
                 run.cell.seed = run.seed;
                 run.cell.duration_s = spec.duration_s;
+                run.cell.shards = spec.shards;
                 run.cell.rtscts_fraction = rtscts;
                 run.cell.rate.policy = policy;
                 run.cell.timing = parse_timing(timing);

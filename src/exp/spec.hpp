@@ -44,6 +44,11 @@ struct ExperimentSpec {
   std::uint64_t base_seed = 1;
   int seeds_per_point = 1;
   double duration_s = 18.0;
+  /// Worker threads for each run's per-channel shard phases (see
+  /// sim::NetworkConfig::shards).  Like RunnerOptions::threads — and
+  /// composing with it — this is an execution knob, not a treatment: output
+  /// is byte-identical for any value, and it stays out of the manifest.
+  int shards = 1;
 
   // --- grid axes (every axis must be non-empty) -------------------------
   std::vector<LoadPoint> loads = {LoadPoint{}};
@@ -53,11 +58,12 @@ struct ExperimentSpec {
   std::vector<double> power_margins = {-1.0};  ///< <0 disables client TPC
   /// Population turnover per minute for the churn scenarios.  A treatment
   /// axis like rtscts/policy: churn arms at the same load share seeds, so
-  /// churn-rate sweeps are paired.  Caveats: manifests record the *raw*
-  /// axis value, and a churn scenario substitutes its default (1
-  /// turnover/min) for any value <= 0 — so keep at most one non-positive
-  /// value on the axis; static scenarios ignore the axis entirely, so a
-  /// multi-valued axis there only duplicates runs.
+  /// churn-rate sweeps are paired.  Caveats, enforced by expand(): manifests
+  /// record the *raw* axis value, and a churn scenario substitutes its
+  /// default (1 turnover/min) for any value <= 0 — so at most one
+  /// non-positive value may be on the axis; static scenarios ignore the
+  /// axis entirely, so a multi-valued axis there is rejected (it would only
+  /// duplicate every run).
   std::vector<double> churn_rates = {0.0};
 
   /// Everything not on an axis (traffic profile, geometry, sniffer
@@ -97,8 +103,10 @@ struct RunSpec {
 /// Unrolls the grid in a fixed order — loads (outermost) × rtscts × rate
 /// policy × timing × power margin × seed repeats (innermost) — so run and
 /// point indices are stable properties of the spec.  Throws
-/// std::invalid_argument on an empty axis, seeds_per_point < 1, or an
-/// unknown rate-policy / timing name.
+/// std::invalid_argument on an empty axis, seeds_per_point < 1, an unknown
+/// rate-policy / timing name, or a churn_rates axis that would silently
+/// duplicate runs (multi-valued on a static scenario, or more than one
+/// non-positive value).
 [[nodiscard]] std::vector<RunSpec> expand(const ExperimentSpec& spec);
 
 }  // namespace wlan::exp

@@ -87,7 +87,10 @@ namespace wlan::obs {
   X(kMwToDbmEvals, "phy.mw_to_dbm_evals", Kind::kSum)                       \
   X(kLinkCacheEndpointsHw, "phy.link_cache_endpoints_hw", Kind::kMax)       \
   X(kLinkCacheIdCapacityHw, "phy.link_cache_id_capacity_hw", Kind::kMax)    \
-  X(kLinkCacheMutations, "phy.link_cache_mutations", Kind::kSum)            \
+  X(kLinkCacheStationMutations, "phy.link_cache_station_mutations",         \
+    Kind::kSum)                                                             \
+  X(kLinkCacheSnifferRegistrations, "phy.link_cache_sniffer_registrations", \
+    Kind::kSum)                                                             \
   /* --- util: arena -------------------------------------------------- */ \
   X(kArenaBlocksHw, "util.arena_blocks_hw", Kind::kMax)                     \
   X(kArenaCapacityBytesHw, "util.arena_capacity_bytes_hw", Kind::kMax)      \

@@ -118,8 +118,10 @@ void Channel::remove_node(MacEntity* node) {
 }
 
 void Channel::add_sniffer(Sniffer* sniffer) {
+  WLAN_OBS_ONLY(const std::uint64_t version_before = links_.version();)
   const LinkId link = links_.add_endpoint(sniffer->position());
   track_link(link);  // never referenced by frames, but keeps indexing dense
+  WLAN_OBS_ONLY(sniffer_link_mutations_ += links_.version() - version_before;)
   sniffers_.push_back({sniffer, link});
 }
 
@@ -709,7 +711,13 @@ void Channel::harvest_metrics(obs::Metrics& m) const {
   m.add(Id::kMwToDbmEvals, mw_to_dbm_memo_.evals());
   m.note_max(Id::kLinkCacheEndpointsHw, links_.endpoints());
   m.note_max(Id::kLinkCacheIdCapacityHw, links_.id_capacity());
-  m.add(Id::kLinkCacheMutations, links_.version());
+  // links_.version() ticks on every cache mutation; subtracting the ticks
+  // attributed to sniffer registration leaves the station-lifecycle share
+  // (join / depart / roam / id reuse), which is what the old conflated
+  // phy.link_cache_mutations counter was usually read as.
+  m.add(Id::kLinkCacheStationMutations,
+        links_.version() - sniffer_link_mutations_);
+  m.add(Id::kLinkCacheSnifferRegistrations, sniffer_link_mutations_);
   m.note_max(Id::kArenaBlocksHw, arena_.block_count());
   m.note_max(Id::kArenaCapacityBytesHw, arena_.capacity_bytes());
   m.note_max(Id::kArenaAllocBytesHw, arena_.alloc_bytes_high_water());
@@ -737,6 +745,10 @@ void Channel::record_ground_truth(const Completed& done,
   rec.seq = f.seq;
   rec.outcome = outcome;
   ground_truth_->push_back(rec);
+  // Records are appended at end of air, so sim_.now() here is the sort key
+  // the sharded Network's cross-channel merge needs (see
+  // set_ground_truth_end_times).
+  if (ground_truth_end_) ground_truth_end_->push_back(sim_.now().count());
 }
 
 void Channel::schedule_access_timer(std::size_t di) {

@@ -91,6 +91,15 @@ class Channel {
   /// Ground-truth log (optional); one TxRecord per transmission.
   void set_ground_truth(std::vector<trace::TxRecord>* log) { ground_truth_ = log; }
 
+  /// Parallel end-of-air timestamps for the ground-truth log (optional):
+  /// one entry per TxRecord, the sim time at which the record was appended.
+  /// The sharded Network merges per-channel logs on (end time, channel
+  /// order) — the record's own time_us is the start of air, which is not
+  /// the order records are produced in.
+  void set_ground_truth_end_times(std::vector<std::int64_t>* log) {
+    ground_truth_end_ = log;
+  }
+
   /// Shares a frame-id counter across the network's channels so ids are
   /// deterministic per run (the factories' fallback counter is process-wide
   /// and would leak ordering between runs).
@@ -382,6 +391,7 @@ class Channel {
   std::vector<ContentionDomain> domains_;
 
   std::vector<trace::TxRecord>* ground_truth_ = nullptr;
+  std::vector<std::int64_t>* ground_truth_end_ = nullptr;
   std::uint64_t* frame_counter_ = nullptr;
   std::uint64_t tx_count_ = 0;
   std::uint64_t collision_count_ = 0;
@@ -396,6 +406,10 @@ class Channel {
   std::uint64_t plan_hits_ = 0;
   std::uint64_t plan_rebuilds_ = 0;
   std::uint64_t links_recycled_ = 0;
+  /// Link-cache version ticks attributable to sniffer registration, so
+  /// harvest_metrics can report station-lifecycle mutations separately
+  /// (the two drivers of links_.version() answer different questions).
+  std::uint64_t sniffer_link_mutations_ = 0;
   std::uint64_t rate_plans_ = 0;
   std::uint64_t rate_outcomes_ = 0;
   /// Delivered-MSDU delay components (always on; see record_data_delay).

@@ -22,9 +22,11 @@ EventId EventQueue::schedule(Microseconds at, Callback fn) {
   }
   Slot& s = slots_[slot];
   s.fn = std::move(fn);
-  heap_push(Entry{at, next_seq_++, slot, s.gen});
+  const std::uint64_t seq = next_seq_++;
+  heap_push(Entry{at, seq, slot, s.gen});
   ++live_;
   WLAN_OBS_ONLY(++scheduled_; if (live_ > depth_hw_) depth_hw_ = live_;)
+  if (observer_) observer_(observer_ctx_, at, seq);
   return EventId{slot, s.gen};
 }
 
@@ -82,6 +84,12 @@ void EventQueue::drop_cancelled() const {
 Microseconds EventQueue::next_time() const {
   drop_cancelled();
   return heap_.empty() ? Microseconds::never() : heap_.front().at;
+}
+
+EventKey EventQueue::next_key() const {
+  drop_cancelled();
+  if (heap_.empty()) return EventKey{};
+  return EventKey{heap_.front().at, heap_.front().seq};
 }
 
 Microseconds EventQueue::run_next() {

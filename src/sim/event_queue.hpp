@@ -26,6 +26,21 @@
 
 namespace wlan::sim {
 
+/// Total-order key of a scheduled event: (time, sequence).  The sequence
+/// number is unique per queue and never reused, so comparing keys is exactly
+/// the execution-order comparison the heap uses.
+struct EventKey {
+  Microseconds at = Microseconds::never();
+  std::uint64_t seq = 0;
+  bool operator<(const EventKey& other) const {
+    if (at != other.at) return at < other.at;
+    return seq < other.seq;
+  }
+  bool operator==(const EventKey& other) const {
+    return at == other.at && seq == other.seq;
+  }
+};
+
 /// Handle for cancelling a scheduled event.  Default-constructed handles are
 /// inert ("no event").
 class EventId {
@@ -56,11 +71,39 @@ class EventQueue {
   /// Cancels a previously scheduled event; harmless if already run/cancelled.
   void cancel(EventId id);
 
+  /// True while `id` names a still-pending event (neither run nor
+  /// cancelled).  Lets holders of many EventIds prune fired ones instead of
+  /// accumulating them (cancel on a fired id is already a no-op).
+  [[nodiscard]] bool live(EventId id) const {
+    return id.valid() && slots_[id.slot_].gen == id.gen_;
+  }
+
   [[nodiscard]] bool empty() const { return live_ == 0; }
   [[nodiscard]] std::size_t size() const { return live_; }
 
   /// Time of the earliest live event; Microseconds::never() when empty.
   [[nodiscard]] Microseconds next_time() const;
+
+  /// Full (time, sequence) key of the earliest live event; {never(), 0}
+  /// when empty.  The sharded Network driver compares these keys against
+  /// per-shard watermarks to reproduce the single-queue execution order.
+  [[nodiscard]] EventKey next_key() const;
+
+  /// Sequence number the *next* schedule() call will be assigned.  Sampling
+  /// this when a coupling (control-lane) event is scheduled yields the
+  /// watermark that separates "scheduled before" from "scheduled after" in
+  /// this queue's local order.
+  [[nodiscard]] std::uint64_t next_seq() const { return next_seq_; }
+
+  /// Observer invoked after every successful schedule() with the event's
+  /// final (clamped) key.  One observer per queue; pass nullptr to clear.
+  /// Raw function pointer + context, so the hot path stays allocation-free.
+  using ScheduleObserver = void (*)(void* ctx, Microseconds at,
+                                    std::uint64_t seq);
+  void set_schedule_observer(ScheduleObserver fn, void* ctx) {
+    observer_ = fn;
+    observer_ctx_ = ctx;
+  }
 
   /// Pops and runs the earliest event; returns its time.
   /// Precondition: !empty().
@@ -119,6 +162,8 @@ class EventQueue {
   std::uint64_t scheduled_ = 0;
   std::uint64_t cancelled_ = 0;
   std::size_t depth_hw_ = 0;
+  ScheduleObserver observer_ = nullptr;
+  void* observer_ctx_ = nullptr;
 };
 
 }  // namespace wlan::sim

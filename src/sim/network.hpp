@@ -1,12 +1,27 @@
-// Network: owns the simulation kernel, propagation model, channels, nodes
+// Network: owns the simulation kernels, propagation model, channels, nodes
 // and sniffers, and provides the builder API the workload layer uses.
+//
+// Channel sharding (docs/ARCHITECTURE.md "Channel sharding"): the paper's
+// three 802.11b channels are radio-orthogonal, so each Channel runs on its
+// own EventQueue and the only cross-channel interactions — user arrivals,
+// roams, departures, population ticks — run on a separate *control* queue
+// owned by the driver.  Network::run_for alternates parallel shard phases
+// with serial control events under a watermark protocol that reproduces the
+// single-queue execution order exactly; `NetworkConfig::shards` is purely a
+// worker-thread count and never changes any output byte.
 #pragma once
 
+#include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "mac/timing.hpp"
+#include "obs/metrics.hpp"
 #include "phy/propagation.hpp"
 #include "sim/access_point.hpp"
 #include "sim/channel.hpp"
@@ -43,15 +58,31 @@ struct NetworkConfig {
   /// differential oracle suite pins it); this is the knob that suite — and
   /// anyone bisecting a suspected hot-path bug — flips.
   bool scalar_reception = false;
+  /// Worker threads for the parallel shard phases.  Purely a thread count:
+  /// every queue, counter and output byte is identical for any value
+  /// (clamped to [1, channels.size()]; 1 runs the phases inline on the
+  /// caller's thread with no thread machinery at all).
+  int shards = 1;
+  /// Alias every Channel onto the one control Simulator instead of giving
+  /// each its own shard queue — byte-for-byte the pre-sharding engine, one
+  /// totally-ordered queue.  Retained as the reference half of the
+  /// sharded-vs-single-queue differential oracle (the sharding analogue of
+  /// `scalar_reception`); not a performance mode.
+  bool single_queue = false;
 };
 
 class Network {
  public:
   explicit Network(const NetworkConfig& config);
+  ~Network();
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
+  /// The control-lane simulator: user lifecycle, population ticks, roaming.
+  /// In single_queue mode this is also every channel's queue.  Scheduling
+  /// here is only legal from outside run_for or from another control event
+  /// (never from a channel's own events — asserted in Debug builds).
   [[nodiscard]] Simulator& simulator() { return sim_; }
   [[nodiscard]] const mac::Timing& timing() const { return timing_; }
   [[nodiscard]] const phy::Propagation& propagation() const { return prop_; }
@@ -133,20 +164,73 @@ class Network {
   [[nodiscard]] mac::Addr allocate_addr();
 
  private:
-  Simulator sim_;
+  /// Captures the per-shard watermark vector for every control-lane
+  /// schedule; installed on sim_'s queue in sharded mode.
+  static void observe_control_schedule(void* ctx, Microseconds at,
+                                       std::uint64_t seq);
+  /// Runs one parallel phase: every shard up to `until` (exclusive of
+  /// events at `until` whose local sequence is >= its watermark when
+  /// `marks` is set; inclusive of everything at `until` when null).
+  void run_shard_phase(Microseconds until,
+                       const std::vector<std::uint64_t>* marks);
+  void run_one_shard(std::size_t i, Microseconds until,
+                     const std::vector<std::uint64_t>* marks);
+  void ensure_workers(std::size_t count);
+  void stop_workers();
+  void worker_loop(std::size_t worker, std::size_t stride);
+  /// Drains the per-channel ground-truth buffers into ground_truth_ in
+  /// (end-of-air time, channel order, per-channel position) order.
+  void merge_ground_truth();
+
+  Simulator sim_;  ///< control lane (and the only queue in single_queue mode)
   phy::Propagation prop_;
   mac::Timing timing_;
   util::Rng rng_;
   std::vector<std::uint8_t> channel_numbers_;
   std::vector<std::unique_ptr<Channel>> channels_;
+  /// One shard simulator per channel; empty in single_queue mode (channels
+  /// then share sim_).
+  std::vector<std::unique_ptr<Simulator>> shard_sims_;
+  /// Per-shard obs registers: shard i's events deposit here no matter which
+  /// worker thread ran them, and harvest_metrics merges them in channel
+  /// order — so the merged counters are independent of the thread count.
+  std::vector<obs::Metrics> shard_metrics_;
+  /// Per-channel frame-id counters with disjoint id spaces (channel i's ids
+  /// start at i << 48): deterministic per lane, no cross-shard contention,
+  /// and channel 0 keeps the historical 1,2,3,... sequence.
+  std::vector<std::uint64_t> frame_counters_;
   std::vector<std::unique_ptr<AccessPoint>> aps_;
   std::vector<std::unique_ptr<Station>> stations_;
   std::vector<std::unique_ptr<Sniffer>> sniffers_;
   std::vector<trace::TxRecord> ground_truth_;
-  std::uint64_t frame_counter_ = 0;
+  /// Per-channel ground-truth staging (records + end-of-air sort keys),
+  /// drained by merge_ground_truth at the end of every run_for.
+  std::vector<std::vector<trace::TxRecord>> shard_ground_truth_;
+  std::vector<std::vector<std::int64_t>> shard_ground_truth_end_;
+  /// Watermarks: control-event local sequence -> each shard queue's
+  /// next_seq() sampled when that event was scheduled.  The vector answers
+  /// "which shard events precede this control event in the single-queue
+  /// total order" exactly (see run_for).
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> watermarks_;
   double ap_power_offset_db_ = 5.0;
   mac::Addr next_addr_ = 1;
   std::deque<mac::Addr> free_addrs_;  ///< released by remove_station
+  bool single_queue_ = false;
+  int shards_ = 1;
+  bool in_parallel_phase_ = false;
+
+  // Worker pool (created lazily; only when min(shards, channels) > 1).
+  // Channel -> worker assignment is static round-robin, so shard i's events
+  // always run under shard_metrics_[i] regardless of timing.
+  std::vector<std::thread> workers_;
+  std::mutex pool_mu_;
+  std::condition_variable pool_start_;
+  std::condition_variable pool_done_;
+  std::uint64_t phase_id_ = 0;
+  std::size_t phase_remaining_ = 0;
+  Microseconds phase_until_{0};
+  const std::vector<std::uint64_t>* phase_marks_ = nullptr;
+  bool pool_stop_ = false;
 };
 
 }  // namespace wlan::sim

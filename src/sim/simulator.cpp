@@ -17,6 +17,26 @@ void Simulator::run_until(Microseconds until) {
   if (now_ < until) now_ = until;
 }
 
+void Simulator::run_until_key(Microseconds until, std::uint64_t seq_limit) {
+  EventKey next;
+  const EventKey bound{until, seq_limit};
+  while ((next = queue_.next_key()).at != Microseconds::never() &&
+         next < bound) {
+    now_ = next.at;
+    queue_.run_next();
+    ++executed_;
+  }
+  // Land exactly on the coupling time so anything the coupling event
+  // schedules into this queue is stamped relative to the right `now`.
+  if (now_ < until) now_ = until;
+}
+
+void Simulator::run_one() {
+  now_ = queue_.next_time();
+  queue_.run_next();
+  ++executed_;
+}
+
 void Simulator::run() {
   Microseconds next;
   while ((next = queue_.next_time()) != Microseconds::never()) {

@@ -37,6 +37,19 @@ class Simulator {
   /// Events scheduled exactly at `until` still run.
   void run_until(Microseconds until);
 
+  /// Runs events strictly *before* the key (until, seq_limit): an event at
+  /// time t with local sequence s runs iff t < until, or t == until and
+  /// s < seq_limit.  The clock then lands exactly on `until`.  This is the
+  /// sharded driver's phase primitive: `seq_limit` is the shard's watermark
+  /// captured when the next coupling event was scheduled, so the events run
+  /// here are exactly those that precede the coupling event in the
+  /// single-queue total order.
+  void run_until_key(Microseconds until, std::uint64_t seq_limit);
+
+  /// Pops and runs exactly one event, advancing the clock to it.
+  /// Precondition: the queue is non-empty.
+  void run_one();
+
   /// Runs everything (use only with workloads that stop by themselves).
   void run();
 
@@ -45,6 +58,9 @@ class Simulator {
 
   /// Read-only queue access for diagnostics / metrics harvesting.
   [[nodiscard]] const EventQueue& queue() const { return queue_; }
+
+  /// Mutable queue access (observer installation by the sharded driver).
+  [[nodiscard]] EventQueue& queue() { return queue_; }
 
  private:
   EventQueue queue_;

@@ -42,6 +42,8 @@ sim::NetworkConfig network_config(const ScenarioConfig& cfg,
   net.propagation.shadowing_sigma_db =
       kind == SessionKind::kPlenary ? 6.0 : 4.0;
   net.scalar_reception = cfg.scalar_reception;
+  net.shards = cfg.shards;
+  net.single_queue = cfg.single_queue;
   return net;
 }
 
@@ -194,6 +196,8 @@ CellResult run_cell(const CellConfig& config) {
   net_cfg.propagation.path_loss_exponent = config.path_loss_exponent;
   net_cfg.propagation.shadowing_sigma_db = config.shadowing_sigma_db;
   net_cfg.scalar_reception = config.scalar_reception;
+  net_cfg.shards = config.shards;
+  net_cfg.single_queue = config.single_queue;
 
   sim::Network net(net_cfg);
   util::Rng rng(config.seed ^ 0xCE11ULL);
@@ -324,6 +328,8 @@ CellResult run_hidden_terminal(const CellConfig& config) {
   net_cfg.propagation.path_loss_exponent = config.path_loss_exponent;
   net_cfg.propagation.shadowing_sigma_db = config.shadowing_sigma_db;
   net_cfg.scalar_reception = config.scalar_reception;
+  net_cfg.shards = config.shards;
+  net_cfg.single_queue = config.single_queue;
 
   sim::Network net(net_cfg);
   util::Rng rng(config.seed ^ 0x41DDE4ULL);

@@ -44,6 +44,12 @@ struct ScenarioConfig {
   /// Use the channels' scalar reference reception path instead of the
   /// batched engine (byte-identical output; see sim::NetworkConfig).
   bool scalar_reception = false;
+  /// Worker threads for the per-channel shard phases (byte-identical output
+  /// for any value; see sim::NetworkConfig::shards).
+  int shards = 1;
+  /// Run every channel on the one control queue — the pre-sharding engine,
+  /// kept as the sharding oracle's reference (see sim::NetworkConfig).
+  bool single_queue = false;
 
   // --- population dynamics -------------------------------------------------
   /// > 0 switches the session from the classic fixed-curve UserManager to
@@ -129,6 +135,12 @@ struct CellConfig {
   /// Use the channels' scalar reference reception path instead of the
   /// batched engine (byte-identical output; see sim::NetworkConfig).
   bool scalar_reception = false;
+  /// Worker threads for the per-channel shard phases (byte-identical output
+  /// for any value; see sim::NetworkConfig::shards).
+  int shards = 1;
+  /// Run every channel on the one control queue — the pre-sharding engine,
+  /// kept as the sharding oracle's reference (see sim::NetworkConfig).
+  bool single_queue = false;
   double duration_s = 25.0;
   double warmup_s = 3.0;  ///< stripped from the returned trace
   /// Square cell side.  Large enough that edge users have marginal SNR and

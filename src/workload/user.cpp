@@ -109,6 +109,11 @@ bool UserSession::relocate(const phy::Position& pos, double hysteresis_db) {
   // AP — on a same-AP move that would wipe the imminent re-association.
   ++session_epoch_;
   ++packet_epoch_;
+  // Epoch bumps make stale chain closures no-ops, but under sharding the
+  // old channel's queue must not even *hold* closures that read this
+  // session's epochs while the new channel's events write them — cancel
+  // them here, on the control lane, before any parallel phase resumes.
+  cancel_chain_timers();
   const mac::Addr keep_addr = station_->addr();
   retire_station(roamed ? ap_ : nullptr);
   spec_.position = pos;
@@ -172,16 +177,43 @@ void UserSession::start_traffic() {
   }
 }
 
+void UserSession::arm_chain_timer(Microseconds delay,
+                                  sim::EventQueue::Callback fn) {
+  sim::Simulator& sim = station_->channel().simulator();
+  if (chain_sim_ != &sim) {
+    // First arm of a new station generation (the previous generation's
+    // timers were cancelled at relocation/departure, so the list is dead).
+    chain_timers_.clear();
+    chain_sim_ = &sim;
+  }
+  // Prune fired ids so the list stays bounded by the handful of
+  // concurrently-armed chains — without this, one gap timer per packet
+  // accumulates for the life of the station generation.
+  if (chain_timers_.size() >= 16) {
+    std::erase_if(chain_timers_, [&sim](sim::EventId id) {
+      return !sim.queue().live(id);
+    });
+  }
+  chain_timers_.push_back(sim.in(delay, std::move(fn)));
+}
+
+void UserSession::cancel_chain_timers() {
+  if (chain_sim_ != nullptr) {
+    for (sim::EventId id : chain_timers_) chain_sim_->cancel(id);
+  }
+  chain_timers_.clear();
+}
+
 void UserSession::launch_flow(bool uplink) {
-  if (departed_) return;
+  if (departed_ || !station_) return;
   const double share = uplink ? spec_.profile.uplink_fraction
                               : 1.0 - spec_.profile.uplink_fraction;
   if (share <= 0.0) return;
   const double think_s = rng_.exponential(1.0 / (spec_.profile.mean_pps * share));
-  net_.simulator().in(Microseconds{static_cast<std::int64_t>(think_s * 1e6)},
-                      [this, uplink, epoch = session_epoch_] {
-                        if (epoch == session_epoch_) send_closed_loop(uplink);
-                      });
+  arm_chain_timer(Microseconds{static_cast<std::int64_t>(think_s * 1e6)},
+                  [this, uplink, epoch = session_epoch_] {
+                    if (epoch == session_epoch_) send_closed_loop(uplink);
+                  });
 }
 
 void UserSession::send_closed_loop(bool uplink) {
@@ -210,10 +242,10 @@ void UserSession::toggle_onoff(bool now_on) {
   const double mean_on = spec_.profile.mean_on_seconds;
   const double mean_off = mean_on * (1.0 - f) / f;
   const double hold_s = rng_.exponential(now_on ? mean_on : mean_off);
-  net_.simulator().in(Microseconds{static_cast<std::int64_t>(hold_s * 1e6)},
-                      [this, now_on, epoch = session_epoch_] {
-                        if (epoch == session_epoch_) toggle_onoff(!now_on);
-                      });
+  arm_chain_timer(Microseconds{static_cast<std::int64_t>(hold_s * 1e6)},
+                  [this, now_on, epoch = session_epoch_] {
+                    if (epoch == session_epoch_) toggle_onoff(!now_on);
+                  });
   if (on_) schedule_next_packet();
 }
 
@@ -221,10 +253,10 @@ void UserSession::schedule_next_packet() {
   if (departed_ || !on_ || !associated_) return;
   const double gap_s = rng_.exponential(1.0 / spec_.profile.mean_pps);
   const std::uint64_t epoch = packet_epoch_;
-  net_.simulator().in(Microseconds{static_cast<std::int64_t>(gap_s * 1e6)},
-                      [this, epoch] {
-                        if (epoch == packet_epoch_) emit_packet();
-                      });
+  arm_chain_timer(Microseconds{static_cast<std::int64_t>(gap_s * 1e6)},
+                  [this, epoch] {
+                    if (epoch == packet_epoch_) emit_packet();
+                  });
 }
 
 void UserSession::emit_packet() {
@@ -251,6 +283,7 @@ void UserSession::depart() {
   }
   departed_ = true;
   ++session_epoch_;
+  cancel_chain_timers();  // see relocate(): stale closures must not linger
   Packet bye;
   bye.dst = vap_;
   bye.type = mac::FrameType::kDisassoc;
@@ -301,6 +334,7 @@ void UserManager::tick() {
       spec.profile = config_.profile;
       spec.use_rtscts = rng_.chance(config_.rtscts_fraction);
       spec.rate = config_.rate;
+      spec.remove_on_depart = config_.remove_on_depart;
       sessions_.push_back(
           std::make_unique<UserSession>(net_, spec, rng_.next()));
     }

@@ -88,6 +88,16 @@ class UserSession {
   /// re-arm on completion.
   void launch_flow(bool uplink);
   void send_closed_loop(bool uplink);
+  /// Arms a traffic-chain timer (think/hold/gap) on the *station's channel*
+  /// simulator — those timers only touch that channel's station/AP queues,
+  /// so they belong to the shard lane, not the control lane — and records
+  /// the EventId so relocation/departure can cancel it.
+  void arm_chain_timer(Microseconds delay, sim::EventQueue::Callback fn);
+  /// Cancels every armed chain timer of the current station generation.
+  /// Required for sharding, not just hygiene: a stale closure left on the
+  /// old channel's queue after a roam would read this session's epochs
+  /// while the new channel's events write them — a cross-shard race.
+  void cancel_chain_timers();
 
   sim::Network& net_;
   UserSpec spec_;
@@ -106,6 +116,11 @@ class UserSession {
   /// generation check it and die off, so each re-association restarts
   /// exactly one set of chains.
   std::uint64_t session_epoch_ = 0;
+  /// Chain timers armed on chain_sim_ (the current station's channel
+  /// simulator); pruned of fired ids as it grows, fully cancelled on
+  /// relocation/departure.  See cancel_chain_timers().
+  std::vector<sim::EventId> chain_timers_;
+  sim::Simulator* chain_sim_ = nullptr;
 };
 
 /// Target population curve: simulated seconds -> desired user count.
@@ -120,6 +135,11 @@ struct UserManagerConfig {
   Microseconds tick{1'000'000};
   /// Position generator for new arrivals.
   std::function<phy::Position(util::Rng&)> placement;
+  /// Propagated to every spawned session's UserSpec::remove_on_depart:
+  /// departures tear the station down for real (link id recycled, memory
+  /// freed) instead of parking the powered-off radio forever.  Off by
+  /// default — the frozen fixed-curve goldens depend on parked radios.
+  bool remove_on_depart = false;
 };
 
 class UserManager {

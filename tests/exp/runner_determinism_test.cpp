@@ -323,6 +323,114 @@ TEST(RunnerDeterminismTest, EnablingTracingChangesNoOutputByte) {
             slurp(dir_on + "/determinism_metrics.json"));
 }
 
+// Intra-run channel sharding obeys the same contract as the runner's own
+// thread pool: ExperimentSpec::shards (the --shards flag) is purely a
+// worker-thread count for the per-channel shard phases inside each run, so
+// manifests, rendered figures, and every merged work counter must be
+// byte-identical for shards 1, 2 and 3.  (The sharded-vs-single-queue
+// *structure* equivalence lives in tests/sim/sharding_oracle_test.cpp; this
+// test pins that the worker count never leaks into any output.)
+ExperimentResult run_with_shards(ExperimentSpec spec, int shards,
+                                 const std::string& out_dir) {
+  spec.shards = shards;
+  RunnerOptions opt;
+  opt.threads = 2;
+  opt.out_dir = out_dir;
+  opt.timing_in_manifest = false;
+  return run_experiment(spec, opt);
+}
+
+TEST(RunnerDeterminismTest, ShardCountIsOutputInvariantByteForByte) {
+  const std::string dir1 = ::testing::TempDir() + "exp_shards1";
+  const std::string dir2 = ::testing::TempDir() + "exp_shards2";
+  const std::string dir3 = ::testing::TempDir() + "exp_shards3";
+  const auto r1 = run_with_shards(tiny_sweep(), 1, dir1);
+  const auto r2 = run_with_shards(tiny_sweep(), 2, dir2);
+  const auto r3 = run_with_shards(tiny_sweep(), 3, dir3);
+
+  for (const std::string* dir : {&dir2, &dir3}) {
+    EXPECT_EQ(slurp(dir1 + "/determinism_manifest.csv"),
+              slurp(*dir + "/determinism_manifest.csv"));
+    EXPECT_EQ(slurp(dir1 + "/determinism_manifest.json"),
+              slurp(*dir + "/determinism_manifest.json"));
+    EXPECT_EQ(slurp(dir1 + "/determinism_metrics.csv"),
+              slurp(*dir + "/determinism_metrics.csv"));
+    EXPECT_EQ(slurp(dir1 + "/determinism_metrics.json"),
+              slurp(*dir + "/determinism_metrics.json"));
+  }
+  EXPECT_FALSE(slurp(dir1 + "/determinism_manifest.csv").empty());
+  EXPECT_EQ(core::render_figure(r1.figures.fig06_throughput_goodput(1)),
+            core::render_figure(r2.figures.fig06_throughput_goodput(1)));
+  EXPECT_EQ(core::render_figure(r1.figures.fig06_throughput_goodput(1)),
+            core::render_figure(r3.figures.fig06_throughput_goodput(1)));
+  EXPECT_EQ(core::render_figure(r1.figures.fig08_busytime_share(1)),
+            core::render_figure(r3.figures.fig08_busytime_share(1)));
+  EXPECT_EQ(counter_values(r1.metrics), counter_values(r2.metrics));
+  EXPECT_EQ(counter_values(r1.metrics), counter_values(r3.metrics));
+}
+
+TEST(RunnerDeterminismTest, ChurnScenarioIsShardCountInvariant) {
+  // The three-channel conference session with brisk churn: roams retire a
+  // station on one channel's shard and bring its successor up on another's,
+  // the only cross-shard interaction in the system.  Worker counts 1 and 3
+  // must still agree on every byte.
+  const std::string dir1 = ::testing::TempDir() + "exp_churn_shards1";
+  const std::string dir3 = ::testing::TempDir() + "exp_churn_shards3";
+  const auto r1 = run_with_shards(churn_sweep(), 1, dir1);
+  const auto r3 = run_with_shards(churn_sweep(), 3, dir3);
+
+  EXPECT_EQ(slurp(dir1 + "/churn_det_manifest.csv"),
+            slurp(dir3 + "/churn_det_manifest.csv"));
+  EXPECT_EQ(slurp(dir1 + "/churn_det_manifest.json"),
+            slurp(dir3 + "/churn_det_manifest.json"));
+  EXPECT_EQ(slurp(dir1 + "/churn_det_metrics.csv"),
+            slurp(dir3 + "/churn_det_metrics.csv"));
+  EXPECT_FALSE(slurp(dir1 + "/churn_det_manifest.csv").empty());
+  EXPECT_EQ(core::render_figure(r1.figures.fig06_throughput_goodput(1)),
+            core::render_figure(r3.figures.fig06_throughput_goodput(1)));
+  EXPECT_EQ(counter_values(r1.metrics), counter_values(r3.metrics));
+#if WLAN_OBS_ENABLED
+  // Vacuous-pass guard: the sweep must actually exercise cross-shard roams.
+  EXPECT_GT(r1.metrics.value(obs::Id::kChurnRoams), 0u);
+#endif
+}
+
+// The churn_rates axis is validated at expansion (KNOWN_ISSUES PR 5
+// triage): combinations that can only produce duplicate runs fail loudly,
+// naming the scenario and the axis, instead of silently multiplying the
+// grid.
+TEST(RunnerDeterminismTest, ChurnAxisFootgunsAreRejectedAtExpansion) {
+  // Multi-valued churn axis on a static-population scenario.
+  auto bad_static = tiny_sweep();
+  bad_static.churn_rates = {0.0, 2.0};
+  try {
+    (void)expand(bad_static);
+    FAIL() << "multi-valued churn axis on \"cell\" should not expand";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("cell"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("churn_rates"), std::string::npos) << msg;
+  }
+
+  // More than one non-positive value: a churn scenario substitutes its
+  // default for each, so the arms would be identical.
+  auto bad_churn = churn_sweep();
+  bad_churn.churn_rates = {0.0, -1.0, 4.0};
+  try {
+    (void)expand(bad_churn);
+    FAIL() << "two non-positive churn values should not expand";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("ietf-day-churn"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("churn_rates"), std::string::npos) << msg;
+  }
+
+  // The legitimate shapes still expand: a single disabled value on a static
+  // scenario (the default) and a multi-valued all-positive churn sweep.
+  EXPECT_EQ(expand(tiny_sweep()).size(), 4u);
+  EXPECT_EQ(expand(churn_sweep()).size(), 8u);
+}
+
 TEST(RunnerDeterminismTest, UnknownScenarioThrowsOnTheCallingThread) {
   // Must surface as a catchable exception, not std::terminate in a worker.
   auto spec = tiny_sweep();
